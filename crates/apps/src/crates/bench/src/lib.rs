@@ -1,0 +1,1 @@
+//! Reproduction harness support (see the `reproduce` binary and benches).

@@ -1,0 +1,73 @@
+//! # surfer-apps
+//!
+//! The six benchmark applications of the Surfer paper (App. D), each with a
+//! propagation implementation, a MapReduce implementation and a serial
+//! reference the test suite checks both against:
+//!
+//! | App | Task | Pattern |
+//! |-----|------|---------|
+//! | NR  | Network ranking (PageRank)   | multi-iteration propagation |
+//! | RS  | Recommender campaign         | multi-iteration propagation |
+//! | TC  | Triangle counting (10% sample)| single-iteration propagation |
+//! | VDD | Vertex degree distribution   | virtual vertices (MapReduce-like) |
+//! | RLG | Reverse link graph           | single-iteration propagation |
+//! | TFL | Two-hop friend lists (10%)   | single-iteration propagation |
+//!
+//! [`loc`] counts the real UDF source lines for Table 4.
+//!
+//! Two *extension* applications beyond the paper's six exercise
+//! convergence-driven propagation: [`components`] (connected components by
+//! min-label flooding) and [`shortest_paths`] (multi-source BFS).
+
+pub mod components;
+pub mod degree_dist;
+pub mod loc;
+pub mod shortest_paths;
+pub mod pagerank;
+pub mod recommender;
+pub mod reverse;
+pub mod triangle;
+pub mod two_hop;
+
+pub use components::ConnectedComponents;
+pub use degree_dist::VertexDegreeDistribution;
+pub use shortest_paths::BreadthFirstSearch;
+pub use pagerank::NetworkRanking;
+pub use recommender::RecommenderSystem;
+pub use reverse::ReverseLinkGraph;
+pub use triangle::TriangleCounting;
+pub use two_hop::TwoHopFriends;
+
+/// Comparable application outputs (exact, or within a floating tolerance).
+pub trait ExactOutput {
+    /// True when the two outputs agree within `eps` (ignored by exact types).
+    fn approx_eq(&self, other: &Self, eps: f64) -> bool;
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use surfer_cluster::{ClusterConfig, SimCluster};
+    use surfer_core::Surfer;
+    use surfer_graph::generators::social::{stitched_small_worlds, SocialGraphConfig};
+    use surfer_graph::CsrGraph;
+
+    /// The seed every app test shares so fixtures line up.
+    pub const FIXTURE_SEED: u64 = 0xF1C;
+
+    /// A small community graph loaded onto a flat cluster.
+    pub fn surfer_fixture(partitions: u32, machines: u16) -> (CsrGraph, Surfer) {
+        let g = stitched_small_worlds(&SocialGraphConfig::new(4, 8, FIXTURE_SEED));
+        let cluster: SimCluster = ClusterConfig::flat(machines).build();
+        let s = Surfer::builder(cluster).partitions(partitions).load(&g);
+        (g, s)
+    }
+
+    /// The same fixture, symmetrized (connected-components needs
+    /// bidirectional message flow).
+    pub fn surfer_symmetric_fixture(partitions: u32, machines: u16) -> (CsrGraph, Surfer) {
+        let g = stitched_small_worlds(&SocialGraphConfig::new(4, 8, FIXTURE_SEED)).symmetrize();
+        let cluster: SimCluster = ClusterConfig::flat(machines).build();
+        let s = Surfer::builder(cluster).partitions(partitions).load(&g);
+        (g, s)
+    }
+}

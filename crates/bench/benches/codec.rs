@@ -1,0 +1,23 @@
+//! Criterion micro-benchmarks of the adjacency-list codec and CSR ops.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use surfer_graph::adjacency::{decode_graph, encode_graph};
+use surfer_graph::generators::social::{msn_like, MsnScale};
+use surfer_graph::properties;
+
+fn bench_codec(c: &mut Criterion) {
+    let g = msn_like(MsnScale::Tiny, 42);
+    let blob = encode_graph(&g);
+    let mut group = c.benchmark_group("codec");
+    group.sample_size(10);
+
+    group.bench_function("encode_8k_graph", |b| b.iter(|| encode_graph(&g)));
+    group.bench_function("decode_8k_graph", |b| b.iter(|| decode_graph(&blob).unwrap()));
+    group.bench_function("transpose_8k", |b| b.iter(|| g.transpose()));
+    group.bench_function("triangle_count_8k", |b| b.iter(|| properties::triangle_count(&g)));
+    group.bench_function("degree_histogram_8k", |b| b.iter(|| properties::degree_histogram(&g)));
+    group.finish();
+}
+
+criterion_group!(benches, bench_codec);
+criterion_main!(benches);

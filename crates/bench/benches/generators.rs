@@ -1,0 +1,33 @@
+//! Criterion micro-benchmarks of the synthetic graph generators.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use surfer_graph::generators::{
+    rmat::{rmat, RmatConfig},
+    social::{msn_like, stitched_small_worlds, MsnScale, SocialGraphConfig},
+    watts::{watts_strogatz, WattsStrogatzConfig},
+};
+
+fn bench_generators(c: &mut Criterion) {
+    let mut group = c.benchmark_group("generators");
+    group.sample_size(10);
+
+    group.bench_function("rmat_scale12_40k_edges", |b| {
+        b.iter(|| rmat(&RmatConfig::new(12, 40_000, 7)));
+    });
+
+    group.bench_function("stitched_8x256", |b| {
+        b.iter(|| stitched_small_worlds(&SocialGraphConfig::new(8, 8, 7)));
+    });
+
+    group.bench_function("msn_like_tiny", |b| {
+        b.iter(|| msn_like(MsnScale::Tiny, 7));
+    });
+
+    group.bench_function("watts_strogatz_4k", |b| {
+        b.iter(|| watts_strogatz(&WattsStrogatzConfig { n: 4096, k: 8, beta: 0.1, seed: 7 }));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_generators);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion micro-benchmarks of the partitioning pipeline: multilevel
+//! bisection, recursive k-way, machine-graph bisection and quality metrics.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use surfer_cluster::Topology;
+use surfer_graph::generators::social::{msn_like, MsnScale};
+use surfer_partition::{
+    bisect, quality, BisectConfig, MachineGraph, RecursivePartitioner, WGraph,
+};
+
+fn bench_partitioning(c: &mut Criterion) {
+    let g = msn_like(MsnScale::Tiny, 42);
+    let mut group = c.benchmark_group("partitioning");
+    group.sample_size(10);
+
+    group.bench_function("wgraph_from_csr_8k", |b| {
+        b.iter(|| WGraph::from_csr(&g));
+    });
+
+    group.bench_function("bisect_8k", |b| {
+        b.iter(|| bisect(&g, &BisectConfig::default()));
+    });
+
+    group.bench_function("kway16_8k", |b| {
+        b.iter(|| RecursivePartitioner::default().partition(&g, 16));
+    });
+
+    let kway = RecursivePartitioner::default().partition(&g, 16);
+    group.bench_function("quality_metrics_8k", |b| {
+        b.iter(|| quality(&g, &kway.partitioning));
+    });
+
+    let topo = Topology::t2(4, 2, 32);
+    group.bench_function("machine_graph_bisect_32", |b| {
+        b.iter_batched(
+            || MachineGraph::from_topology(&topo),
+            |mg| mg.bisect(),
+            BatchSize::SmallInput,
+        );
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_partitioning);
+criterion_main!(benches);

@@ -1,0 +1,50 @@
+//! Criterion micro-benchmarks of the engines: one NR iteration through the
+//! propagation engine (O1 vs O4) and through MapReduce, plus the cascade
+//! analysis.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::sync::Arc;
+use surfer_apps::pagerank::{NetworkRanking, PageRankPropagation};
+use surfer_cluster::ClusterConfig;
+use surfer_core::{
+    cascade::CascadeAnalysis, EngineOptions, PropagationEngine, SurferApp,
+};
+use surfer_graph::generators::social::{msn_like, MsnScale};
+use surfer_mapreduce::MapReduceEngine;
+use surfer_partition::{bandwidth_aware_partition, BisectConfig, PartitionedGraph};
+
+fn bench_engines(c: &mut Criterion) {
+    let g = Arc::new(msn_like(MsnScale::Tiny, 42));
+    let cluster = ClusterConfig::flat(8).build();
+    let placed =
+        bandwidth_aware_partition(&g, cluster.topology(), 8, &BisectConfig::default());
+    let pg = PartitionedGraph::new(Arc::clone(&g), &placed);
+    let prog = PageRankPropagation { damping: 0.85, n: g.num_vertices() as u64 };
+
+    let mut group = c.benchmark_group("engines");
+    group.sample_size(10);
+
+    for (name, opts) in [("nr_iteration_o1", EngineOptions::none()), ("nr_iteration_o4", EngineOptions::full())] {
+        let engine = PropagationEngine::new(&cluster, &pg, opts);
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut state = engine.init_state(&prog);
+                engine.run_iteration(&prog, &mut state)
+            });
+        });
+    }
+
+    let mr = MapReduceEngine::new(&cluster, &pg);
+    group.bench_function("nr_iteration_mapreduce", |b| {
+        let app = NetworkRanking::new(1);
+        b.iter(|| app.run_mapreduce(&mr));
+    });
+
+    group.bench_function("cascade_analysis", |b| {
+        b.iter(|| CascadeAnalysis::analyze(&pg));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

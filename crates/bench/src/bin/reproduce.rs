@@ -1,0 +1,113 @@
+//! The reproduction harness binary: regenerates every table and figure of
+//! the paper's evaluation (§6 / App. F) on the simulated cluster.
+//!
+//! ```text
+//! cargo run --release -p surfer-bench --bin reproduce -- all
+//! cargo run --release -p surfer-bench --bin reproduce -- table1 --scale medium
+//! ```
+//!
+//! Subcommands: all, table1, table2, table3, table4, table5, fig6, fig7,
+//! fig9, fig10, fig11, fig12, cascade. Options: `--scale tiny|small|medium|large`
+//! (default small), `--machines N` (default 32), `--partitions P` (default 64).
+
+use surfer_bench::experiments::*;
+use surfer_bench::{ExpConfig, Workload};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ExpConfig::default();
+    let mut cmd = String::from("all");
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--scale" => {
+                i += 1;
+                cfg = cfg
+                    .with_scale_name(args.get(i).map(String::as_str).unwrap_or(""))
+                    .unwrap_or_else(|e| die(&e));
+            }
+            "--machines" => {
+                i += 1;
+                cfg.machines = parse(args.get(i), "--machines");
+            }
+            "--partitions" => {
+                i += 1;
+                cfg.partitions = parse(args.get(i), "--partitions");
+            }
+            "--seed" => {
+                i += 1;
+                cfg.seed = parse(args.get(i), "--seed");
+            }
+            c if !c.starts_with('-') => cmd = c.to_string(),
+            other => die(&format!("unknown option {other}")),
+        }
+        i += 1;
+    }
+
+    eprintln!(
+        "# surfer reproduce: cmd={cmd} scale={:?} machines={} partitions={} seed={}",
+        cfg.scale, cfg.machines, cfg.partitions, cfg.seed
+    );
+
+    // Experiments that reuse the shared partitioned workload.
+    let needs_workload = matches!(
+        cmd.as_str(),
+        "all" | "table1" | "table2" | "table3" | "fig6" | "fig7" | "fig9" | "fig10" | "fig12"
+            | "cascade"
+    );
+    let workload = needs_workload.then(|| {
+        eprintln!("# generating + partitioning the MSN-like graph ...");
+        let w = Workload::prepare(cfg);
+        eprintln!(
+            "# graph: {} vertices, {} edges, {:.1} MB; {} partitions",
+            w.graph.num_vertices(),
+            w.graph.num_edges(),
+            w.graph.storage_bytes() as f64 / 1e6,
+            cfg.partitions
+        );
+        w
+    });
+    let w = workload.as_ref();
+
+    let run_one = |name: &str| match name {
+        "table1" => println!("{}", table1::run(w.expect("workload")).1),
+        "table2" | "table3" => println!("{}", table2_3::run(w.expect("workload")).1),
+        "table4" => println!("{}", table4::run()),
+        "table5" => println!("{}", table5::run(&cfg).1),
+        "fig6" => println!("{}", fig6::run(w.expect("workload")).1),
+        "fig7" => println!("{}", fig7::run(w.expect("workload")).1),
+        "fig9" => println!("{}", fig9::run(w.expect("workload")).1),
+        "fig10" => println!("{}", fig10::run(w.expect("workload")).1),
+        "fig11" => println!("{}", fig11::run(cfg.seed).1),
+        "fig12" => println!("{}", fig12::run(w.expect("workload")).1),
+        "cascade" => println!("{}", cascade::run(w.expect("workload")).1),
+        "ablation" => {
+            println!("{}", ablation::run_psize(&cfg).1);
+            println!("{}", ablation::run_locality(&cfg).1);
+        }
+        other => die(&format!(
+            "unknown experiment '{other}' (all|table1..table5|fig6|fig7|fig9|fig10|fig11|fig12|cascade|ablation)"
+        )),
+    };
+
+    if cmd == "all" {
+        for name in [
+            "table1", "table2", "table4", "table5", "fig6", "fig7", "fig9", "fig10", "fig11",
+            "fig12", "cascade", "ablation",
+        ] {
+            eprintln!("# running {name} ...");
+            run_one(name);
+        }
+    } else {
+        run_one(&cmd);
+    }
+}
+
+fn parse<T: std::str::FromStr>(v: Option<&String>, flag: &str) -> T {
+    v.and_then(|s| s.parse().ok()).unwrap_or_else(|| die(&format!("{flag} needs a numeric value")))
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(2);
+}

@@ -1,0 +1,89 @@
+//! Plain-text table formatting for the reproduction harness.
+
+use surfer_cluster::SimDuration;
+
+/// Render an aligned text table: a header row plus data rows.
+pub fn table(title: &str, header: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("\n== {title} ==\n"));
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .zip(widths)
+            .map(|(c, w)| format!("{c:>w$}", w = w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    out.push_str(&fmt_row(&head, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Seconds with 2 decimals.
+pub fn secs(d: SimDuration) -> String {
+    format!("{:.2}", d.as_secs_f64())
+}
+
+/// Bytes as MB with 1 decimal.
+pub fn mb(bytes: u64) -> String {
+    format!("{:.1}", bytes as f64 / 1e6)
+}
+
+/// A ratio as a percentage improvement of `new` over `old` (positive =
+/// improvement).
+pub fn improvement_pct(old: f64, new: f64) -> String {
+    if old == 0.0 {
+        return "n/a".into();
+    }
+    format!("{:+.1}%", (old - new) / old * 100.0)
+}
+
+/// A speedup factor `old / new`.
+pub fn speedup(old: f64, new: f64) -> String {
+    if new == 0.0 {
+        return "inf".into();
+    }
+    format!("{:.2}x", old / new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_aligns_columns() {
+        let out = table(
+            "demo",
+            &["name", "value"],
+            &[vec!["a".into(), "1".into()], vec!["long-name".into(), "22".into()]],
+        );
+        assert!(out.contains("== demo =="));
+        assert!(out.contains("long-name"));
+        // Right alignment: the short name is padded to the widest cell.
+        assert!(out.contains("        a"), "{out}");
+    }
+
+    #[test]
+    fn helpers() {
+        assert_eq!(secs(SimDuration::from_secs_f64(1.234)), "1.23");
+        assert_eq!(mb(1_500_000), "1.5");
+        assert_eq!(improvement_pct(10.0, 5.0), "+50.0%");
+        assert_eq!(speedup(10.0, 2.0), "5.00x");
+        assert_eq!(improvement_pct(0.0, 5.0), "n/a");
+    }
+}

@@ -1,0 +1,47 @@
+//! # surfer-cluster
+//!
+//! A deterministic simulated cloud cluster for the Surfer reproduction.
+//!
+//! The paper deployed on a real 32-node pod and simulated uneven network
+//! topologies in software by delaying sends according to worst-case
+//! all-to-all bandwidth shares (App. F.1). This crate implements that exact
+//! methodology as a discrete-event simulator:
+//!
+//! * [`Topology`] — T1 (flat), T2(#pod, #level) switch trees, T3
+//!   heterogeneous hardware, each exposing per-pair bandwidth factors and
+//!   the weighted *machine graph* of §4.2.
+//! * [`SimCluster`] / [`ClusterConfig`] — machines + cost model (CPU rate,
+//!   sequential/random disk rates, NIC rate, transfer latency, heartbeats).
+//! * [`Executor`] — the event-driven task-graph simulator: per-machine task
+//!   slots, data transfers priced by pair bandwidth, deterministic event
+//!   ordering, fault injection with heartbeat detection and task-type-aware
+//!   recovery via [`Replanner`] policies.
+//! * [`PartitionStore`] + [`StoreReplanner`] — GFS-style 3-way replica
+//!   placement and placement-aware failover.
+//! * [`ExecReport`] — the paper's four metrics (response time, total machine
+//!   time, network I/O, disk I/O) plus the disk-rate time series of Fig. 10.
+
+pub mod cluster;
+pub mod exec;
+pub mod jobmanager;
+pub mod machine;
+pub mod metrics;
+pub mod replication;
+pub mod storage;
+pub mod time;
+pub mod topology;
+pub mod trace;
+
+pub use cluster::{ClusterConfig, SimCluster};
+pub use exec::{
+    Executor, Fault, ReassignRequest, Replanner, RoundRobinReplanner, TaskId, TaskKind, TaskSpec,
+    TransferId,
+};
+pub use jobmanager::StoreReplanner;
+pub use machine::{MachineId, MachineSpec};
+pub use metrics::{ExecReport, TaskTrace, TimeSeries};
+pub use trace::{render_gantt, utilization};
+pub use replication::{place_replicas, ReplicaSet};
+pub use storage::{PartitionId, PartitionStore};
+pub use time::{SimDuration, SimTime};
+pub use topology::Topology;

@@ -1,0 +1,104 @@
+//! Machine identifiers and hardware specifications.
+
+use serde::{Deserialize, Serialize};
+
+/// Identifies one slave machine in the cluster.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct MachineId(pub u16);
+
+impl MachineId {
+    /// Raw index.
+    #[inline]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl std::fmt::Debug for MachineId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+impl std::fmt::Display for MachineId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "m{}", self.0)
+    }
+}
+
+/// Hardware model of one slave, mirroring the paper's testbed (App. F.1:
+/// Quad Xeon X3360 @ 2.83 GHz, 8 GB RAM, 2× 1 TB SATA, 1 GbE).
+///
+/// The CPU is modelled as an abstract rate of *record operations* per second
+/// (one op ≈ processing one edge or vertex record through a user-defined
+/// function); the defaults are calibrated so that the simulated workloads
+/// land in the paper's seconds-to-hours range at our reduced graph scale.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MachineSpec {
+    /// Concurrent task slots (the paper's job manager dispatches one task at
+    /// a time per slave; raise this to model multi-core slaves).
+    pub task_slots: u32,
+    /// Main memory available for a graph partition, in bytes. Drives the
+    /// partition-count formula `P = 2^ceil(log2(||G||/r))` (§4.2).
+    pub memory_bytes: u64,
+    /// Sequential disk bandwidth, bytes/sec.
+    pub disk_seq_bytes_per_sec: f64,
+    /// Multiplier `>= 1` dividing disk bandwidth for random-access I/O
+    /// (a partition that does not fit in memory pays this penalty, P2 in §4.1).
+    pub disk_random_penalty: f64,
+    /// NIC line rate, bytes/sec (1 GbE = 125 MB/s). Effective pair bandwidth
+    /// is this rate times the topology's bandwidth factor.
+    pub nic_bytes_per_sec: f64,
+    /// Abstract record operations per second.
+    pub cpu_ops_per_sec: f64,
+}
+
+impl Default for MachineSpec {
+    fn default() -> Self {
+        MachineSpec {
+            task_slots: 1,
+            memory_bytes: 64 << 20, // 64 MiB of simulated partition memory
+            disk_seq_bytes_per_sec: 100e6,
+            disk_random_penalty: 20.0,
+            nic_bytes_per_sec: 125e6,
+            cpu_ops_per_sec: 50e6,
+        }
+    }
+}
+
+impl MachineSpec {
+    /// Validate rates are positive and finite.
+    pub fn validate(&self) {
+        assert!(self.task_slots >= 1, "need at least one task slot");
+        for (name, v) in [
+            ("disk_seq_bytes_per_sec", self.disk_seq_bytes_per_sec),
+            ("nic_bytes_per_sec", self.nic_bytes_per_sec),
+            ("cpu_ops_per_sec", self.cpu_ops_per_sec),
+        ] {
+            assert!(v > 0.0 && v.is_finite(), "{name} must be positive, got {v}");
+        }
+        assert!(self.disk_random_penalty >= 1.0, "random penalty must be >= 1");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_spec_is_valid() {
+        MachineSpec::default().validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "task slot")]
+    fn zero_slots_rejected() {
+        MachineSpec { task_slots: 0, ..Default::default() }.validate();
+    }
+
+    #[test]
+    fn machine_id_formats() {
+        assert_eq!(format!("{}", MachineId(3)), "m3");
+        assert_eq!(MachineId(3).index(), 3);
+    }
+}

@@ -1,0 +1,122 @@
+//! GFS-style partition replication (§3: *"each partition has three replicas
+//! on different slave machines. The replication protocol is the same as that
+//! in GFS"*).
+//!
+//! Placement mirrors GFS's rack-aware rule mapped onto pods: the primary is
+//! the machine the bandwidth-aware (or baseline) partitioner assigned; the
+//! second replica lives on another machine in the *same* pod (cheap to keep
+//! in sync); the third in a *different* pod (survives a pod switch failure).
+
+use crate::machine::MachineId;
+use crate::topology::Topology;
+use serde::{Deserialize, Serialize};
+
+/// The machines holding the replicas of one partition; `machines[0]` is the
+/// primary.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ReplicaSet {
+    /// Primary first, then same-pod, then remote-pod replica (deduplicated —
+    /// clusters smaller than 3 machines hold fewer replicas).
+    pub machines: Vec<MachineId>,
+}
+
+impl ReplicaSet {
+    /// The primary replica's machine.
+    pub fn primary(&self) -> MachineId {
+        self.machines[0]
+    }
+
+    /// The first replica on an alive machine, preferring the primary.
+    pub fn first_alive(&self, alive: impl Fn(MachineId) -> bool) -> Option<MachineId> {
+        self.machines.iter().copied().find(|&m| alive(m))
+    }
+
+    /// True when `m` holds a replica.
+    pub fn contains(&self, m: MachineId) -> bool {
+        self.machines.contains(&m)
+    }
+}
+
+/// Place replicas for a partition whose primary is `primary`.
+pub fn place_replicas(topology: &Topology, primary: MachineId) -> ReplicaSet {
+    let n = topology.num_machines();
+    let mut machines = vec![primary];
+    // Second replica: next machine within the same pod.
+    let pod = topology.pod_of(primary);
+    let same_pod = (1..n)
+        .map(|off| MachineId((primary.0 + off) % n))
+        .find(|&m| topology.pod_of(m) == pod && m != primary);
+    if let Some(m) = same_pod {
+        machines.push(m);
+    }
+    // Third replica: first machine in a different pod, offset by the primary
+    // id so replicas of different partitions spread over remote machines.
+    let remote_pod = (1..n)
+        .map(|off| MachineId((primary.0 + off) % n))
+        .find(|&m| topology.pod_of(m) != pod);
+    if let Some(m) = remote_pod {
+        machines.push(m);
+    } else {
+        // Single-pod topology: fall back to any third distinct machine.
+        if let Some(m) =
+            (1..n).map(|off| MachineId((primary.0 + off) % n)).find(|m| !machines.contains(m))
+        {
+            machines.push(m);
+        }
+    }
+    ReplicaSet { machines }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flat_cluster_three_distinct_machines() {
+        let t = Topology::t1(4);
+        let rs = place_replicas(&t, MachineId(1));
+        assert_eq!(rs.machines.len(), 3);
+        assert_eq!(rs.primary(), MachineId(1));
+        let mut sorted = rs.machines.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 3, "replicas must be distinct: {:?}", rs.machines);
+    }
+
+    #[test]
+    fn tree_cluster_spreads_across_pods() {
+        let t = Topology::t2(2, 1, 8); // pods {0..4}, {4..8}
+        let rs = place_replicas(&t, MachineId(1));
+        assert_eq!(rs.machines.len(), 3);
+        assert_eq!(t.pod_of(rs.machines[1]), 0, "second replica same pod");
+        assert_eq!(t.pod_of(rs.machines[2]), 1, "third replica remote pod");
+    }
+
+    #[test]
+    fn tiny_cluster_degrades_gracefully() {
+        let t = Topology::t1(2);
+        let rs = place_replicas(&t, MachineId(0));
+        assert_eq!(rs.machines, vec![MachineId(0), MachineId(1)]);
+        let t1 = Topology::t1(1);
+        let rs1 = place_replicas(&t1, MachineId(0));
+        assert_eq!(rs1.machines, vec![MachineId(0)]);
+    }
+
+    #[test]
+    fn first_alive_prefers_primary() {
+        let t = Topology::t1(4);
+        let rs = place_replicas(&t, MachineId(0));
+        assert_eq!(rs.first_alive(|_| true), Some(MachineId(0)));
+        let primary = rs.primary();
+        let second = rs.machines[1];
+        assert_eq!(rs.first_alive(|m| m != primary), Some(second));
+        assert_eq!(rs.first_alive(|_| false), None);
+    }
+
+    #[test]
+    fn contains_checks_membership() {
+        let t = Topology::t1(5);
+        let rs = place_replicas(&t, MachineId(2));
+        assert!(rs.contains(MachineId(2)));
+    }
+}

@@ -1,0 +1,150 @@
+//! Simulated time.
+//!
+//! All simulation timestamps are integer microseconds, which keeps the
+//! discrete-event engine deterministic (no floating-point event-ordering
+//! hazards). Durations are computed from byte counts and rates in `f64` and
+//! rounded up to the next microsecond.
+
+use serde::{Deserialize, Serialize};
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulated time (microseconds since job start).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimTime(pub u64);
+
+/// A span of simulated time (microseconds).
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize)]
+pub struct SimDuration(pub u64);
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Construct from seconds.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimTime(to_micros(secs))
+    }
+
+    /// This instant as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+
+    /// Duration elapsed since `earlier`; saturates at zero.
+    pub fn since(self, earlier: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl SimDuration {
+    /// The zero duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Construct from fractional seconds, rounding up to a whole microsecond
+    /// so nonzero work always advances time.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        SimDuration(to_micros(secs))
+    }
+
+    /// This duration as fractional seconds.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+}
+
+fn to_micros(secs: f64) -> u64 {
+    assert!(secs >= 0.0 && secs.is_finite(), "invalid time value: {secs}");
+    (secs * 1e6).ceil() as u64
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, other: SimTime) -> SimDuration {
+        self.since(other)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, other: SimDuration) -> SimDuration {
+        SimDuration(self.0 + other.0)
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, other: SimDuration) {
+        self.0 += other.0;
+    }
+}
+
+impl std::iter::Sum for SimDuration {
+    fn sum<I: Iterator<Item = SimDuration>>(iter: I) -> Self {
+        iter.fold(SimDuration::ZERO, |a, b| a + b)
+    }
+}
+
+impl std::fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl std::fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl std::fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seconds_roundtrip() {
+        let t = SimTime::from_secs_f64(1.5);
+        assert_eq!(t.0, 1_500_000);
+        assert!((t.as_secs_f64() - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn nonzero_work_advances_time() {
+        // Sub-microsecond durations round up, so ordering never collapses.
+        let d = SimDuration::from_secs_f64(1e-9);
+        assert_eq!(d.0, 1);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime(10) + SimDuration(5);
+        assert_eq!(t, SimTime(15));
+        assert_eq!(t - SimTime(10), SimDuration(5));
+        assert_eq!(SimTime(3).since(SimTime(10)), SimDuration::ZERO); // saturating
+        let total: SimDuration = [SimDuration(1), SimDuration(2)].into_iter().sum();
+        assert_eq!(total, SimDuration(3));
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid time value")]
+    fn negative_seconds_rejected() {
+        SimDuration::from_secs_f64(-1.0);
+    }
+}

@@ -1,0 +1,634 @@
+//! The P-Surfer propagation execution engine (§5.1, Algorithm 5).
+//!
+//! One iteration runs in two stages per partition:
+//!
+//! * **Transfer** — scan the partition once, calling `transfer` on every
+//!   out-edge. Messages to vertices of the *same* partition stay local;
+//!   with **local propagation** they are consumed in memory, otherwise they
+//!   are spilled to disk as intermediate results. Messages crossing
+//!   partitions are — with **local combination**, when `combine` is
+//!   associative — first merged per remote destination vertex, then sent
+//!   over the (simulated) network sized by the topology's pair bandwidth.
+//! * **Combine** — once all incoming data is local, call `combine` on every
+//!   member vertex with its bag of messages and write the updated values.
+//!
+//! Computation is real: the engine produces exact application results. The
+//! cluster charges time/bytes through the discrete-event executor with the
+//! *actual* message byte counts.
+
+use crate::opt::OptimizationLevel;
+use crate::primitive::{Propagation, VirtualVertexTask};
+use std::collections::BTreeMap;
+use std::collections::HashMap;
+use surfer_cluster::{
+    ExecReport, Executor, Fault, MachineId, PartitionStore, SimCluster, StoreReplanner, TaskKind,
+    TaskSpec,
+};
+use surfer_graph::VertexId;
+use surfer_partition::PartitionedGraph;
+
+/// Engine knobs independent of storage layout (the layout lives in the
+/// [`PartitionedGraph`]'s placement).
+#[derive(Debug, Clone, Copy)]
+pub struct EngineOptions {
+    /// Consume inner-vertex messages in memory (§5.1 local propagation).
+    pub local_propagation: bool,
+    /// Merge cross-partition messages per destination vertex when the
+    /// program is associative (§5.1 local combination).
+    pub local_combination: bool,
+}
+
+impl EngineOptions {
+    /// Options implied by an optimization level.
+    pub fn from_level(level: OptimizationLevel) -> Self {
+        EngineOptions {
+            local_propagation: level.local_propagation(),
+            local_combination: level.local_combination(),
+        }
+    }
+
+    /// Everything on (O4 behaviour).
+    pub fn full() -> Self {
+        EngineOptions { local_propagation: true, local_combination: true }
+    }
+
+    /// Everything off (O1 behaviour).
+    pub fn none() -> Self {
+        EngineOptions { local_propagation: false, local_combination: false }
+    }
+}
+
+/// Per-partition cost tally for one iteration.
+#[derive(Debug, Clone, Default)]
+struct PartitionTally {
+    /// transfer() invocations (edge scans).
+    transfer_calls: u64,
+    /// Bytes of partition-local intermediate messages.
+    local_bytes: u64,
+    /// Bytes of partition-local messages whose destination is an inner
+    /// vertex (elided from disk by local propagation).
+    local_inner_bytes: u64,
+    /// Outgoing bytes per remote partition (after local combination).
+    cross_out: HashMap<u32, u64>,
+    /// Messages combined at this partition.
+    combine_msgs: u64,
+}
+
+/// The propagation engine bound to a cluster + partitioned graph.
+#[derive(Debug, Clone, Copy)]
+pub struct PropagationEngine<'a> {
+    cluster: &'a SimCluster,
+    graph: &'a PartitionedGraph,
+    options: EngineOptions,
+}
+
+impl<'a> PropagationEngine<'a> {
+    /// Bind the engine.
+    pub fn new(cluster: &'a SimCluster, graph: &'a PartitionedGraph, options: EngineOptions) -> Self {
+        for pid in graph.partitions() {
+            assert!(
+                graph.machine_of(pid).0 < cluster.num_machines(),
+                "partition {pid} placed outside the cluster"
+            );
+        }
+        PropagationEngine { cluster, graph, options }
+    }
+
+    /// The bound partitioned graph.
+    pub fn graph(&self) -> &PartitionedGraph {
+        self.graph
+    }
+
+    /// The bound cluster.
+    pub fn cluster(&self) -> &SimCluster {
+        self.cluster
+    }
+
+    /// The active options.
+    pub fn options(&self) -> EngineOptions {
+        self.options
+    }
+
+    /// Initialize the per-vertex state vector for a program.
+    pub fn init_state<P: Propagation>(&self, prog: &P) -> Vec<P::State> {
+        let g = self.graph.graph();
+        g.vertices().map(|v| prog.init(v, g)).collect()
+    }
+
+    /// Run one propagation iteration, updating `state` in place and
+    /// returning the simulated-cost report.
+    pub fn run_iteration<P: Propagation>(&self, prog: &P, state: &mut [P::State]) -> ExecReport {
+        self.run_iteration_discounted(prog, state, None)
+    }
+
+    /// [`PropagationEngine::run_iteration`] with a per-partition multiplier
+    /// on partition disk traffic. Cascaded propagation (§5.2) passes a
+    /// fraction < 1 for iterations whose `V_k` vertices were already handled
+    /// in a batch at the phase start — the computation is identical, only
+    /// the charged partition read/write shrinks.
+    pub fn run_iteration_discounted<P: Propagation>(
+        &self,
+        prog: &P,
+        state: &mut [P::State],
+        disk_fraction: Option<&[f64]>,
+    ) -> ExecReport {
+        self.run_iteration_inner(prog, state, disk_fraction, &[]).0
+    }
+
+    /// Run one iteration and also report how many messages `transfer`
+    /// emitted — the signal convergence-driven jobs
+    /// ([`PropagationEngine::run_until_converged`]) stop on.
+    pub fn run_iteration_counted<P: Propagation>(
+        &self,
+        prog: &P,
+        state: &mut [P::State],
+    ) -> (ExecReport, u64) {
+        self.run_iteration_inner(prog, state, None, &[])
+    }
+
+    /// Iterate until an iteration emits no messages (quiescence, the
+    /// Pregel-style halting condition) or `max_iterations` is reached.
+    /// Returns the accumulated report and the number of iterations run.
+    ///
+    /// Programs drive this by returning `None` from `transfer` once their
+    /// vertex state stops changing (see the connected-components and
+    /// BFS extension apps).
+    pub fn run_until_converged<P: Propagation>(
+        &self,
+        prog: &P,
+        state: &mut [P::State],
+        max_iterations: u32,
+    ) -> (ExecReport, u32) {
+        let mut total = ExecReport::new(self.cluster.num_machines());
+        for it in 0..max_iterations {
+            let (report, messages) = self.run_iteration_counted(prog, state);
+            total.absorb(&report);
+            if messages == 0 {
+                return (total, it + 1);
+            }
+        }
+        (total, max_iterations)
+    }
+
+    /// Run one iteration while injecting machine failures into the simulated
+    /// execution (App. B / Figure 10). The job manager's recovery policy
+    /// applies: tasks of a dead machine move to a surviving replica holder
+    /// of their partition; Combine tasks first re-receive their remote
+    /// inputs. Application results are unaffected — fault tolerance is a
+    /// property of the simulated runtime.
+    pub fn run_iteration_with_faults<P: Propagation>(
+        &self,
+        prog: &P,
+        state: &mut [P::State],
+        faults: &[Fault],
+    ) -> ExecReport {
+        self.run_iteration_inner(prog, state, None, faults).0
+    }
+
+    fn run_iteration_inner<P: Propagation>(
+        &self,
+        prog: &P,
+        state: &mut [P::State],
+        disk_fraction: Option<&[f64]>,
+        faults: &[Fault],
+    ) -> (ExecReport, u64) {
+        let pg = self.graph;
+        let g = pg.graph();
+        let n = g.num_vertices() as usize;
+        assert_eq!(state.len(), n, "state vector must cover every vertex");
+        let num_p = pg.num_partitions() as usize;
+        let merge_cross = self.options.local_combination && prog.associative();
+
+        let mut inbox: Vec<Vec<P::Msg>> = (0..n).map(|_| Vec::new()).collect();
+        let mut tally: Vec<PartitionTally> = vec![PartitionTally::default(); num_p];
+        let mut messages = 0u64;
+
+        // ---- Transfer stage (real). ----
+        for pid in pg.partitions() {
+            let meta = pg.meta(pid);
+            let t = &mut tally[pid as usize];
+            // Local-combination buffer: one merged message per remote
+            // destination vertex.
+            let mut crossbuf: BTreeMap<VertexId, P::Msg> = BTreeMap::new();
+            for &v in &meta.members {
+                for &to in g.neighbors(v) {
+                    t.transfer_calls += 1;
+                    let Some(msg) = prog.transfer(v, &state[v.index()], to, g) else {
+                        continue;
+                    };
+                    messages += 1;
+                    let q = pg.pid_of(to);
+                    if q == pid {
+                        let bytes = prog.msg_bytes(&msg);
+                        t.local_bytes += bytes;
+                        if pg.is_inner(to) {
+                            t.local_inner_bytes += bytes;
+                        }
+                        inbox[to.index()].push(msg);
+                    } else if merge_cross {
+                        match crossbuf.remove(&to) {
+                            Some(prev) => {
+                                crossbuf.insert(to, prog.merge(prev, msg));
+                            }
+                            None => {
+                                crossbuf.insert(to, msg);
+                            }
+                        }
+                    } else {
+                        let bytes = prog.msg_bytes(&msg);
+                        *t.cross_out.entry(q).or_insert(0) += bytes;
+                        inbox[to.index()].push(msg);
+                    }
+                }
+            }
+            for (to, msg) in crossbuf {
+                let q = pg.pid_of(to);
+                *t.cross_out.entry(q).or_insert(0) += prog.msg_bytes(&msg);
+                inbox[to.index()].push(msg);
+            }
+        }
+
+        // ---- Combine stage (real). ----
+        for pid in pg.partitions() {
+            let t = &mut tally[pid as usize];
+            for &v in &pg.meta(pid).members {
+                let msgs = std::mem::take(&mut inbox[v.index()]);
+                t.combine_msgs += msgs.len() as u64;
+                state[v.index()] = prog.combine(v, &state[v.index()], msgs, g);
+            }
+        }
+
+        let report = self.simulate(
+            prog.transfer_ops(),
+            prog.combine_ops(),
+            prog.state_bytes(),
+            &tally,
+            disk_fraction,
+            faults,
+        );
+        (report, messages)
+    }
+
+    /// Run `iterations` iterations; reports are accumulated (sequential
+    /// phases: response times add).
+    pub fn run<P: Propagation>(
+        &self,
+        prog: &P,
+        state: &mut [P::State],
+        iterations: u32,
+    ) -> ExecReport {
+        let mut total = ExecReport::new(self.cluster.num_machines());
+        for _ in 0..iterations {
+            let r = self.run_iteration(prog, state);
+            total.absorb(&r);
+        }
+        total
+    }
+
+    /// Build and run the simulated task DAG for one iteration given the
+    /// per-partition tallies.
+    fn simulate(
+        &self,
+        transfer_ops: f64,
+        combine_ops: f64,
+        state_bytes: u64,
+        tally: &[PartitionTally],
+        disk_fraction: Option<&[f64]>,
+        faults: &[Fault],
+    ) -> ExecReport {
+        let pg = self.graph;
+        let memory = self.cluster.spec().memory_bytes;
+        let frac = |pid: u32| disk_fraction.map_or(1.0, |f| f[pid as usize]);
+        let mut ex = Executor::new(self.cluster);
+
+        // Combine tasks first (transfers reference them).
+        let combine_tasks: Vec<usize> = pg
+            .partitions()
+            .map(|pid| {
+                let t = &tally[pid as usize];
+                let meta = pg.meta(pid);
+                // Intermediate spill this partition re-reads before combining:
+                // without local propagation every local message round-trips
+                // through disk (the MapReduce-style materialization); with it
+                // they are consumed in memory during the partition scan — the
+                // partition was sized to fit in memory precisely to allow
+                // this (P2, §4.1).
+                let spill = if self.options.local_propagation { 0 } else { t.local_bytes };
+                let incoming: u64 = tally
+                    .iter()
+                    .map(|s| s.cross_out.get(&pid).copied().unwrap_or(0))
+                    .sum();
+                ex.add_task(
+                    TaskSpec::new(pg.machine_of(pid), TaskKind::Combine)
+                        .label(pid as u64)
+                        .cpu(t.combine_msgs as f64 * combine_ops)
+                        .reads(spill + incoming)
+                        .writes(
+                            (meta.members.len() as f64 * state_bytes as f64 * frac(pid)) as u64,
+                        )
+                        .random_io(!pg.fits_in_memory(pid, memory)),
+                )
+            })
+            .collect();
+
+        for pid in pg.partitions() {
+            let t = &tally[pid as usize];
+            let meta = pg.meta(pid);
+            let spill = if self.options.local_propagation { 0 } else { t.local_bytes };
+            let transfer_task = ex.add_task(
+                TaskSpec::new(pg.machine_of(pid), TaskKind::Transfer)
+                    .label(pid as u64)
+                    .cpu(t.transfer_calls as f64 * transfer_ops)
+                    .reads((meta.bytes as f64 * frac(pid)) as u64)
+                    .writes(spill)
+                    .random_io(!pg.fits_in_memory(pid, memory)),
+            );
+            // The partition's own Combine waits for its Transfer (the spill
+            // must be complete).
+            ex.add_dep(transfer_task, combine_tasks[pid as usize]);
+            for (&q, &bytes) in &t.cross_out {
+                let dst_task = combine_tasks[q as usize];
+                if pg.machine_of(q) == pg.machine_of(pid) {
+                    ex.add_dep(transfer_task, dst_task);
+                } else {
+                    ex.add_transfer(transfer_task, dst_task, bytes);
+                }
+            }
+        }
+        if faults.is_empty() {
+            ex.run()
+        } else {
+            // Recovery policy: partition tasks follow their replicas.
+            let store = PartitionStore::from_assignment(
+                self.cluster.topology(),
+                pg.placement(),
+            );
+            let mut replanner = StoreReplanner::new(&store);
+            ex.run_with_faults(faults, &mut replanner)
+        }
+    }
+
+    /// Run a vertex-oriented task through virtual vertices (§3.2): every
+    /// vertex contributes to a developer-chosen virtual vertex; virtual
+    /// vertices are hash-distributed over machines, so this emulates
+    /// MapReduce inside Surfer. Returns outputs in virtual-id order.
+    pub fn run_virtual<T: VirtualVertexTask>(&self, task: &T) -> (Vec<T::Out>, ExecReport) {
+        let pg = self.graph;
+        let g = pg.graph();
+        let machines = self.cluster.num_machines();
+        let merge = self.options.local_combination && task.associative();
+
+        // Real transfer + routing.
+        let mut groups: BTreeMap<u64, Vec<T::Msg>> = BTreeMap::new();
+        // bytes_to[pid][machine]
+        let mut bytes_to: Vec<Vec<u64>> =
+            vec![vec![0; machines as usize]; pg.num_partitions() as usize];
+        let mut transfer_calls = vec![0u64; pg.num_partitions() as usize];
+        for pid in pg.partitions() {
+            let mut local: BTreeMap<u64, T::Msg> = BTreeMap::new();
+            for &v in &pg.meta(pid).members {
+                transfer_calls[pid as usize] += 1;
+                if let Some((vid, msg)) = task.transfer(v, g) {
+                    if merge {
+                        match local.remove(&vid) {
+                            Some(prev) => {
+                                local.insert(vid, task.merge(prev, msg));
+                            }
+                            None => {
+                                local.insert(vid, msg);
+                            }
+                        }
+                    } else {
+                        let m = (vid % machines as u64) as usize;
+                        bytes_to[pid as usize][m] += task.msg_bytes(&msg);
+                        groups.entry(vid).or_default().push(msg);
+                    }
+                }
+            }
+            for (vid, msg) in local {
+                let m = (vid % machines as u64) as usize;
+                bytes_to[pid as usize][m] += task.msg_bytes(&msg);
+                groups.entry(vid).or_default().push(msg);
+            }
+        }
+
+        // Real combine + per-machine tallies.
+        let mut combine_msgs = vec![0u64; machines as usize];
+        let mut outputs = Vec::with_capacity(groups.len());
+        for (vid, msgs) in groups {
+            combine_msgs[(vid % machines as u64) as usize] += msgs.len() as u64;
+            outputs.push(task.combine(vid, msgs));
+        }
+
+        // Simulated DAG: one Transfer task per partition, one virtual
+        // Combine task per machine.
+        let mut ex = Executor::new(self.cluster);
+        let combine_tasks: Vec<usize> = (0..machines)
+            .map(|m| {
+                ex.add_task(
+                    TaskSpec::new(MachineId(m), TaskKind::Combine)
+                        .label(m as u64)
+                        .cpu(combine_msgs[m as usize] as f64 * task.combine_ops()),
+                )
+            })
+            .collect();
+        for pid in pg.partitions() {
+            let meta = pg.meta(pid);
+            let machine = pg.machine_of(pid);
+            let tt = ex.add_task(
+                TaskSpec::new(machine, TaskKind::Transfer)
+                    .label(pid as u64)
+                    .cpu(transfer_calls[pid as usize] as f64 * task.transfer_ops())
+                    .reads(meta.bytes)
+                    .random_io(!pg.fits_in_memory(pid, self.cluster.spec().memory_bytes)),
+            );
+            for m in 0..machines {
+                let bytes = bytes_to[pid as usize][m as usize];
+                if bytes == 0 {
+                    continue;
+                }
+                if MachineId(m) == machine {
+                    ex.add_dep(tt, combine_tasks[m as usize]);
+                } else {
+                    ex.add_transfer(tt, combine_tasks[m as usize], bytes);
+                }
+            }
+        }
+        (outputs, ex.run())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use surfer_cluster::ClusterConfig;
+    use surfer_graph::builder::from_edges;
+    use surfer_graph::generators::deterministic::cycle;
+    use surfer_graph::CsrGraph;
+    use surfer_partition::Partitioning;
+
+    /// Each vertex forwards a counter; combine sums. One iteration on a
+    /// cycle rotates the values.
+    struct Rotate;
+    impl Propagation for Rotate {
+        type State = u64;
+        type Msg = u64;
+        fn init(&self, v: VertexId, _g: &CsrGraph) -> u64 {
+            v.0 as u64 + 1
+        }
+        fn transfer(&self, _from: VertexId, s: &u64, _to: VertexId, _g: &CsrGraph) -> Option<u64> {
+            Some(*s)
+        }
+        fn combine(&self, _v: VertexId, _old: &u64, msgs: Vec<u64>, _g: &CsrGraph) -> u64 {
+            msgs.iter().sum()
+        }
+        fn associative(&self) -> bool {
+            true
+        }
+        fn merge(&self, a: u64, b: u64) -> u64 {
+            a + b
+        }
+        fn msg_bytes(&self, _m: &u64) -> u64 {
+            12
+        }
+    }
+
+    fn two_partition_cycle() -> (SimCluster, PartitionedGraph) {
+        let g = cycle(8);
+        let p = Partitioning::new(vec![0, 0, 0, 0, 1, 1, 1, 1], 2);
+        let pg = PartitionedGraph::from_parts(
+            Arc::new(g),
+            p,
+            vec![MachineId(0), MachineId(1)],
+        );
+        (ClusterConfig::flat(2).build(), pg)
+    }
+
+    #[test]
+    fn rotation_is_exact() {
+        let (c, pg) = two_partition_cycle();
+        let engine = PropagationEngine::new(&c, &pg, EngineOptions::full());
+        let prog = Rotate;
+        let mut state = engine.init_state(&prog);
+        engine.run_iteration(&prog, &mut state);
+        // Vertex v now holds the old value of v-1 (mod 8).
+        let expect: Vec<u64> = (0..8u64).map(|v| (v + 7) % 8 + 1).collect();
+        assert_eq!(state, expect);
+    }
+
+    #[test]
+    fn optimization_level_does_not_change_results() {
+        let (c, pg) = two_partition_cycle();
+        let mut results = Vec::new();
+        for opts in [EngineOptions::none(), EngineOptions::full()] {
+            let engine = PropagationEngine::new(&c, &pg, opts);
+            let mut state = engine.init_state(&Rotate);
+            engine.run(&Rotate, &mut state, 3);
+            results.push(state);
+        }
+        assert_eq!(results[0], results[1]);
+    }
+
+    #[test]
+    fn cross_partition_bytes_counted_exactly() {
+        let (c, pg) = two_partition_cycle();
+        // Without local combination: the cycle has exactly 2 cross edges
+        // (3->4 and 7->0), one message each way, 12 bytes each.
+        let engine = PropagationEngine::new(&c, &pg, EngineOptions::none());
+        let mut state = engine.init_state(&Rotate);
+        let r = engine.run_iteration(&Rotate, &mut state);
+        assert_eq!(r.network_bytes, 24);
+    }
+
+    #[test]
+    fn local_combination_reduces_network() {
+        // Star-out graph: partition 0 holds hubs 0,1; both point to every
+        // vertex of partition 1. Messages to the same remote vertex merge.
+        let mut edges = Vec::new();
+        for hub in 0..2u32 {
+            for t in 2..6u32 {
+                edges.push((hub, t));
+            }
+        }
+        let g = from_edges(6, edges);
+        let p = Partitioning::new(vec![0, 0, 1, 1, 1, 1], 2);
+        let pg =
+            PartitionedGraph::from_parts(Arc::new(g), p, vec![MachineId(0), MachineId(1)]);
+        let c = ClusterConfig::flat(2).build();
+
+        let run = |opts: EngineOptions| {
+            let engine = PropagationEngine::new(&c, &pg, opts);
+            let mut state = engine.init_state(&Rotate);
+            engine.run_iteration(&Rotate, &mut state)
+        };
+        let plain = run(EngineOptions::none());
+        let opt = run(EngineOptions::full());
+        // 8 cross messages merge into 4 (one per remote destination).
+        assert_eq!(plain.network_bytes, 8 * 12);
+        assert_eq!(opt.network_bytes, 4 * 12);
+    }
+
+    #[test]
+    fn local_propagation_reduces_disk() {
+        let (c, pg) = two_partition_cycle();
+        let run = |opts: EngineOptions| {
+            let engine = PropagationEngine::new(&c, &pg, opts);
+            let mut state = engine.init_state(&Rotate);
+            engine.run_iteration(&Rotate, &mut state)
+        };
+        let plain = run(EngineOptions::none());
+        let opt = run(EngineOptions::full());
+        assert!(
+            opt.disk_bytes() < plain.disk_bytes(),
+            "local propagation should cut disk I/O: {} vs {}",
+            opt.disk_bytes(),
+            plain.disk_bytes()
+        );
+    }
+
+    #[test]
+    fn combine_called_for_silent_vertices() {
+        // A path: the head vertex receives no message; combine(head, [])
+        // must still run (sum of empty = 0).
+        let g = surfer_graph::generators::deterministic::path(3);
+        let p = Partitioning::new(vec![0, 0, 0], 1);
+        let pg = PartitionedGraph::from_parts(Arc::new(g), p, vec![MachineId(0)]);
+        let c = ClusterConfig::flat(1).build();
+        let engine = PropagationEngine::new(&c, &pg, EngineOptions::full());
+        let mut state = engine.init_state(&Rotate);
+        engine.run_iteration(&Rotate, &mut state);
+        assert_eq!(state[0], 0, "head vertex should have been combined with an empty bag");
+    }
+
+    /// VDD-style virtual-vertex task: vertex -> (out-degree, 1).
+    struct DegreeCount;
+    impl VirtualVertexTask for DegreeCount {
+        type Msg = u64;
+        type Out = (u64, u64);
+        fn transfer(&self, v: VertexId, g: &CsrGraph) -> Option<(u64, u64)> {
+            Some((g.out_degree(v) as u64, 1))
+        }
+        fn combine(&self, vid: u64, msgs: Vec<u64>) -> (u64, u64) {
+            (vid, msgs.iter().sum())
+        }
+        fn associative(&self) -> bool {
+            true
+        }
+        fn merge(&self, a: u64, b: u64) -> u64 {
+            a + b
+        }
+        fn msg_bytes(&self, _m: &u64) -> u64 {
+            16
+        }
+    }
+
+    #[test]
+    fn virtual_vertices_compute_degree_histogram() {
+        let (c, pg) = two_partition_cycle();
+        let engine = PropagationEngine::new(&c, &pg, EngineOptions::full());
+        let (out, report) = engine.run_virtual(&DegreeCount);
+        assert_eq!(out, vec![(1, 8)]); // all 8 vertices have out-degree 1
+        assert!(report.tasks_completed >= 3);
+    }
+}

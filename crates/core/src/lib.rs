@@ -1,0 +1,28 @@
+//! # surfer-core
+//!
+//! The Surfer engine (SIGMOD 2010): the **propagation** primitive with its
+//! automatic locality optimizations, the optimization-level matrix of the
+//! evaluation, cascaded multi-iteration propagation, and the `Surfer`
+//! facade tying cluster + partitioning + engines together.
+//!
+//! * [`Propagation`] / [`VirtualVertexTask`] — the two user-defined-function
+//!   surfaces (§3.2).
+//! * [`PropagationEngine`] — the Transfer/Combine executor with local
+//!   propagation and local combination (§5.1, Algorithm 5).
+//! * [`OptimizationLevel`] — O1–O4 (§6.3).
+//! * [`cascade`] — V_k/V_inf analysis and cascaded phases (§5.2).
+//! * [`Surfer`] — the end-user entry point; see the workspace README.
+
+pub mod cascade;
+pub mod engine;
+pub mod opt;
+pub mod pipeline;
+pub mod primitive;
+pub mod surfer;
+
+pub use cascade::{run_cascaded, CascadeAnalysis};
+pub use engine::{EngineOptions, PropagationEngine};
+pub use opt::OptimizationLevel;
+pub use pipeline::{Pipeline, PipelineOutcome, StageKind, StageOutcome};
+pub use primitive::{Propagation, VirtualVertexTask};
+pub use surfer::{auto_partition_count, Surfer, SurferApp, SurferBuilder, SurferRun};

@@ -1,0 +1,84 @@
+//! The four optimization levels of the evaluation (§6.3).
+//!
+//! | Level | Storage layout                | Local propagation + combination |
+//! |-------|-------------------------------|---------------------------------|
+//! | O1    | ParMetis (random machines)    | off                             |
+//! | O2    | bandwidth-aware sketch layout | off                             |
+//! | O3    | ParMetis (random machines)    | on                              |
+//! | O4    | bandwidth-aware sketch layout | on                              |
+
+use surfer_partition::PlacementPolicy;
+
+/// Which Surfer optimizations are active.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OptimizationLevel {
+    /// ParMetis layout, no local optimizations.
+    O1,
+    /// Bandwidth-aware layout, no local optimizations.
+    O2,
+    /// ParMetis layout + local propagation + local combination.
+    O3,
+    /// Bandwidth-aware layout + local propagation + local combination
+    /// (full Surfer).
+    O4,
+}
+
+impl OptimizationLevel {
+    /// All four levels, in paper order.
+    pub const ALL: [OptimizationLevel; 4] =
+        [OptimizationLevel::O1, OptimizationLevel::O2, OptimizationLevel::O3, OptimizationLevel::O4];
+
+    /// The storage-placement policy of this level.
+    pub fn placement(self) -> PlacementPolicy {
+        match self {
+            OptimizationLevel::O1 | OptimizationLevel::O3 => PlacementPolicy::RandomBaseline,
+            OptimizationLevel::O2 | OptimizationLevel::O4 => PlacementPolicy::BandwidthAware,
+        }
+    }
+
+    /// Whether local propagation is applied (inner vertices combined
+    /// in-memory, §5.1).
+    pub fn local_propagation(self) -> bool {
+        matches!(self, OptimizationLevel::O3 | OptimizationLevel::O4)
+    }
+
+    /// Whether local combination is applied (cross-partition messages merged
+    /// per destination when `combine` is associative, §5.1).
+    pub fn local_combination(self) -> bool {
+        matches!(self, OptimizationLevel::O3 | OptimizationLevel::O4)
+    }
+}
+
+impl std::fmt::Display for OptimizationLevel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            OptimizationLevel::O1 => "O1",
+            OptimizationLevel::O2 => "O2",
+            OptimizationLevel::O3 => "O3",
+            OptimizationLevel::O4 => "O4",
+        };
+        f.write_str(s)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn level_matrix_matches_paper() {
+        use OptimizationLevel::*;
+        assert_eq!(O1.placement(), PlacementPolicy::RandomBaseline);
+        assert_eq!(O2.placement(), PlacementPolicy::BandwidthAware);
+        assert_eq!(O3.placement(), PlacementPolicy::RandomBaseline);
+        assert_eq!(O4.placement(), PlacementPolicy::BandwidthAware);
+        assert!(!O1.local_propagation() && !O2.local_propagation());
+        assert!(O3.local_propagation() && O4.local_combination());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(OptimizationLevel::O4.to_string(), "O4");
+        assert_eq!(OptimizationLevel::ALL.len(), 4);
+    }
+}

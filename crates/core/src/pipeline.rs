@@ -1,0 +1,363 @@
+//! Multi-stage job pipelines.
+//!
+//! App. B: *"A job can consist of multiple tasks implemented with MapReduce
+//! or propagation. ... We are developing a high-level language on top of
+//! MapReduce and propagation, to further improve the programmability of
+//! Surfer."* This module is that layer for Rust: compose applications of
+//! either primitive into one [`Pipeline`], run it against a [`Surfer`]
+//! instance, and get per-stage plus aggregate reports.
+//!
+//! ```
+//! use surfer_core::pipeline::Pipeline;
+//! use surfer_core::{OptimizationLevel, Surfer};
+//! use surfer_cluster::{ClusterConfig, Topology};
+//! use surfer_graph::generators::social::{msn_like, MsnScale};
+//!
+//! let g = msn_like(MsnScale::Tiny, 7);
+//! let surfer = Surfer::builder(ClusterConfig::flat(4).build()).partitions(4).load(&g);
+//! let outcome = Pipeline::new("demo")
+//!     .propagation("rank", |s| {
+//!         let app = surfer_apps_stub::rank();
+//!         let (_, report) = app(s);
+//!         report
+//!     })
+//!     .run(&surfer);
+//! # mod surfer_apps_stub {
+//! #     use surfer_core::{PropagationEngine, Propagation};
+//! #     use surfer_cluster::ExecReport;
+//! #     use surfer_graph::{CsrGraph, VertexId};
+//! #     struct Noop;
+//! #     impl Propagation for Noop {
+//! #         type State = ();
+//! #         type Msg = ();
+//! #         fn init(&self, _v: VertexId, _g: &CsrGraph) {}
+//! #         fn transfer(&self, _f: VertexId, _s: &(), _t: VertexId, _g: &CsrGraph) -> Option<()> { None }
+//! #         fn combine(&self, _v: VertexId, _o: &(), _m: Vec<()>, _g: &CsrGraph) {}
+//! #         fn msg_bytes(&self, _m: &()) -> u64 { 4 }
+//! #     }
+//! #     pub fn rank() -> impl Fn(&PropagationEngine<'_>) -> ((), ExecReport) {
+//! #         |engine| {
+//! #             let prog = Noop;
+//! #             let mut state = engine.init_state(&prog);
+//! #             ((), engine.run_iteration(&prog, &mut state))
+//! #         }
+//! #     }
+//! # }
+//! assert_eq!(outcome.stages.len(), 1);
+//! ```
+
+use crate::surfer::{Surfer, SurferApp};
+use surfer_cluster::ExecReport;
+use surfer_mapreduce::MapReduceEngine;
+
+use crate::engine::PropagationEngine;
+
+/// Which primitive a stage used.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StageKind {
+    /// The propagation primitive.
+    Propagation,
+    /// The MapReduce primitive.
+    MapReduce,
+}
+
+/// Metrics of one executed stage.
+#[derive(Debug)]
+pub struct StageOutcome {
+    /// The stage's configured name.
+    pub name: String,
+    /// The primitive it ran on.
+    pub kind: StageKind,
+    /// Its simulated execution report.
+    pub report: ExecReport,
+}
+
+/// Result of running a whole pipeline.
+#[derive(Debug)]
+pub struct PipelineOutcome {
+    /// Pipeline name.
+    pub name: String,
+    /// Per-stage outcomes, in execution order.
+    pub stages: Vec<StageOutcome>,
+    /// Aggregate report (stages are sequential: response times add).
+    pub total: ExecReport,
+}
+
+impl PipelineOutcome {
+    /// A one-line-per-stage text summary.
+    pub fn summary(&self) -> String {
+        let mut out = format!("pipeline '{}':\n", self.name);
+        for s in &self.stages {
+            out.push_str(&format!(
+                "  {:<20} {:>11?} {:>9.2}s  net {:>8.2} MB  disk {:>8.2} MB\n",
+                s.name,
+                s.kind,
+                s.report.response_time.as_secs_f64(),
+                s.report.network_bytes as f64 / 1e6,
+                s.report.disk_bytes() as f64 / 1e6,
+            ));
+        }
+        out.push_str(&format!(
+            "  total: {:.2}s, {:.2} MB network, {:.2} MB disk\n",
+            self.total.response_time.as_secs_f64(),
+            self.total.network_bytes as f64 / 1e6,
+            self.total.disk_bytes() as f64 / 1e6,
+        ));
+        out
+    }
+}
+
+type PropStage<'a> = Box<dyn FnOnce(&PropagationEngine<'_>) -> ExecReport + 'a>;
+type MrStage<'a> = Box<dyn FnOnce(&MapReduceEngine<'_>) -> ExecReport + 'a>;
+
+enum Stage<'a> {
+    Prop(String, PropStage<'a>),
+    Mr(String, MrStage<'a>),
+}
+
+/// A named sequence of stages over a loaded [`Surfer`].
+pub struct Pipeline<'a> {
+    name: String,
+    stages: Vec<Stage<'a>>,
+}
+
+impl<'a> Pipeline<'a> {
+    /// An empty pipeline.
+    pub fn new(name: impl Into<String>) -> Self {
+        Pipeline { name: name.into(), stages: Vec::new() }
+    }
+
+    /// Append a propagation stage. The closure receives the engine, performs
+    /// whatever computation it wants (keeping its outputs) and returns the
+    /// report.
+    pub fn propagation(
+        mut self,
+        name: impl Into<String>,
+        stage: impl FnOnce(&PropagationEngine<'_>) -> ExecReport + 'a,
+    ) -> Self {
+        self.stages.push(Stage::Prop(name.into(), Box::new(stage)));
+        self
+    }
+
+    /// Append a MapReduce stage.
+    pub fn mapreduce(
+        mut self,
+        name: impl Into<String>,
+        stage: impl FnOnce(&MapReduceEngine<'_>) -> ExecReport + 'a,
+    ) -> Self {
+        self.stages.push(Stage::Mr(name.into(), Box::new(stage)));
+        self
+    }
+
+    /// Append an existing [`SurferApp`] on the propagation primitive,
+    /// handing its output to `sink`.
+    pub fn app<A: SurferApp + 'a>(
+        self,
+        app: A,
+        sink: impl FnOnce(A::Output) + 'a,
+    ) -> Self {
+        let name = app.name().to_string();
+        self.propagation(name, move |engine| {
+            let (out, report) = app.run_propagation(engine);
+            sink(out);
+            report
+        })
+    }
+
+    /// Number of configured stages.
+    pub fn len(&self) -> usize {
+        self.stages.len()
+    }
+
+    /// True when no stages were added.
+    pub fn is_empty(&self) -> bool {
+        self.stages.is_empty()
+    }
+
+    /// Execute all stages in order on `surfer`.
+    pub fn run(self, surfer: &Surfer) -> PipelineOutcome {
+        let mut stages = Vec::with_capacity(self.stages.len());
+        let mut total = ExecReport::new(surfer.cluster().num_machines());
+        for stage in self.stages {
+            let outcome = match stage {
+                Stage::Prop(name, f) => {
+                    let report = f(&surfer.propagation());
+                    StageOutcome { name, kind: StageKind::Propagation, report }
+                }
+                Stage::Mr(name, f) => {
+                    let report = f(&surfer.mapreduce());
+                    StageOutcome { name, kind: StageKind::MapReduce, report }
+                }
+            };
+            total.absorb(&outcome.report);
+            stages.push(outcome);
+        }
+        PipelineOutcome { name: self.name, stages, total }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::Cell;
+    use surfer_cluster::ClusterConfig;
+    use surfer_graph::generators::social::{msn_like, MsnScale};
+
+    fn fixture() -> Surfer {
+        let g = msn_like(MsnScale::Tiny, 3);
+        Surfer::builder(ClusterConfig::flat(4).build()).partitions(4).load(&g)
+    }
+
+    #[test]
+    fn stages_run_in_order_and_totals_accumulate() {
+        let surfer = fixture();
+        use surfer_cluster::SimDuration;
+        let outcome = Pipeline::new("two-phase")
+            .propagation("warm-up", |engine| {
+                // A no-op propagation still reads every partition once.
+                struct Noop;
+                impl crate::primitive::Propagation for Noop {
+                    type State = ();
+                    type Msg = ();
+                    fn init(&self, _v: surfer_graph::VertexId, _g: &surfer_graph::CsrGraph) {}
+                    fn transfer(
+                        &self,
+                        _f: surfer_graph::VertexId,
+                        _s: &(),
+                        _t: surfer_graph::VertexId,
+                        _g: &surfer_graph::CsrGraph,
+                    ) -> Option<()> {
+                        None
+                    }
+                    fn combine(
+                        &self,
+                        _v: surfer_graph::VertexId,
+                        _o: &(),
+                        _m: Vec<()>,
+                        _g: &surfer_graph::CsrGraph,
+                    ) {
+                    }
+                    fn msg_bytes(&self, _m: &()) -> u64 {
+                        4
+                    }
+                }
+                let mut state = engine.init_state(&Noop);
+                engine.run_iteration(&Noop, &mut state)
+            })
+            .propagation("again", |engine| {
+                struct Noop;
+                impl crate::primitive::Propagation for Noop {
+                    type State = ();
+                    type Msg = ();
+                    fn init(&self, _v: surfer_graph::VertexId, _g: &surfer_graph::CsrGraph) {}
+                    fn transfer(
+                        &self,
+                        _f: surfer_graph::VertexId,
+                        _s: &(),
+                        _t: surfer_graph::VertexId,
+                        _g: &surfer_graph::CsrGraph,
+                    ) -> Option<()> {
+                        None
+                    }
+                    fn combine(
+                        &self,
+                        _v: surfer_graph::VertexId,
+                        _o: &(),
+                        _m: Vec<()>,
+                        _g: &surfer_graph::CsrGraph,
+                    ) {
+                    }
+                    fn msg_bytes(&self, _m: &()) -> u64 {
+                        4
+                    }
+                }
+                let mut state = engine.init_state(&Noop);
+                engine.run_iteration(&Noop, &mut state)
+            })
+            .run(&surfer);
+        assert_eq!(outcome.stages.len(), 2);
+        let sum: SimDuration =
+            outcome.stages.iter().map(|s| s.report.response_time).sum();
+        assert_eq!(outcome.total.response_time, sum);
+        assert!(outcome.summary().contains("two-phase"));
+    }
+
+    #[test]
+    fn app_stage_delivers_output() {
+        let surfer = fixture();
+        let adopters = Cell::new(0usize);
+        let outcome = Pipeline::new("campaign")
+            .app(surfer_apps_recommender(), |out| adopters.set(out.count()))
+            .run(&surfer);
+        assert_eq!(outcome.stages.len(), 1);
+        assert_eq!(outcome.stages[0].kind, StageKind::Propagation);
+        assert!(adopters.get() > 0, "sink should have received the output");
+    }
+
+    // surfer-apps is a downstream crate; a minimal local recommender clone
+    // keeps this test self-contained.
+    pub struct Adoption(Vec<bool>);
+    impl Adoption {
+        pub fn count(&self) -> usize {
+            self.0.iter().filter(|&&b| b).count()
+        }
+    }
+
+    fn surfer_apps_recommender() -> impl crate::surfer::SurferApp<Output = Adoption> {
+        struct Spread;
+        struct Prog;
+        impl crate::primitive::Propagation for Prog {
+            type State = bool;
+            type Msg = ();
+            fn init(&self, v: surfer_graph::VertexId, _g: &surfer_graph::CsrGraph) -> bool {
+                v.0 % 97 == 0
+            }
+            fn transfer(
+                &self,
+                _f: surfer_graph::VertexId,
+                s: &bool,
+                _t: surfer_graph::VertexId,
+                _g: &surfer_graph::CsrGraph,
+            ) -> Option<()> {
+                s.then_some(())
+            }
+            fn combine(
+                &self,
+                _v: surfer_graph::VertexId,
+                old: &bool,
+                msgs: Vec<()>,
+                _g: &surfer_graph::CsrGraph,
+            ) -> bool {
+                *old || !msgs.is_empty()
+            }
+            fn associative(&self) -> bool {
+                true
+            }
+            fn merge(&self, _a: (), _b: ()) {}
+            fn msg_bytes(&self, _m: &()) -> u64 {
+                5
+            }
+        }
+        impl crate::surfer::SurferApp for Spread {
+            type Output = Adoption;
+            fn name(&self) -> &'static str {
+                "spread"
+            }
+            fn run_propagation(
+                &self,
+                engine: &crate::engine::PropagationEngine<'_>,
+            ) -> (Adoption, surfer_cluster::ExecReport) {
+                let mut state = engine.init_state(&Prog);
+                let report = engine.run_iteration(&Prog, &mut state);
+                (Adoption(state), report)
+            }
+            fn run_mapreduce(
+                &self,
+                _engine: &surfer_mapreduce::MapReduceEngine<'_>,
+            ) -> (Adoption, surfer_cluster::ExecReport) {
+                unimplemented!("test app is propagation-only")
+            }
+        }
+        Spread
+    }
+}

@@ -1,0 +1,119 @@
+//! The propagation programming primitive (§3.2).
+//!
+//! Developers define two functions:
+//!
+//! * `transfer: (v, v') -> (v', value)` — how information flows along each
+//!   edge from a vertex to its out-neighbor;
+//! * `combine: (v, bag of values) -> (v, value')` — how a vertex folds the
+//!   values it received into its new state.
+//!
+//! Annotating `combine` as **associative** unlocks the local-combination
+//! optimization (§5.1): messages from one partition to the same remote
+//! vertex are merged before crossing the network.
+//!
+//! Vertex-oriented tasks that do not fit the edge-flow pattern use
+//! *virtual vertices* ([`VirtualVertexTask`]): every vertex may send to a
+//! developer-chosen virtual vertex id, and `combine` runs on the virtual
+//! vertices — emulating MapReduce within Surfer (§3.2's VDD example).
+
+use surfer_graph::{CsrGraph, VertexId};
+
+/// An edge-oriented propagation program.
+pub trait Propagation {
+    /// Per-vertex state, persisted across iterations.
+    type State: Clone + Send + Sync;
+    /// The value transferred along an edge.
+    type Msg: Clone + Send;
+
+    /// Initial state of vertex `v`.
+    fn init(&self, v: VertexId, g: &CsrGraph) -> Self::State;
+
+    /// The paper's `transfer(v, v')`: the value `from` sends to its
+    /// out-neighbor `to`, or `None` to send nothing (e.g. unselected
+    /// vertices in TC/TFL).
+    fn transfer(
+        &self,
+        from: VertexId,
+        state: &Self::State,
+        to: VertexId,
+        g: &CsrGraph,
+    ) -> Option<Self::Msg>;
+
+    /// The paper's `combine(v, bag of values)`: fold the received messages
+    /// into the vertex's new state. Called for every vertex each iteration
+    /// (with an empty bag when nothing arrived).
+    fn combine(&self, v: VertexId, old: &Self::State, msgs: Vec<Self::Msg>, g: &CsrGraph)
+        -> Self::State;
+
+    /// True when `combine` is associative and commutative over messages, so
+    /// the engine may pre-merge messages with [`Propagation::merge`]
+    /// (local combination, §5.1).
+    fn associative(&self) -> bool {
+        false
+    }
+
+    /// Merge two messages destined for the same vertex. Must satisfy
+    /// `combine(v, s, [merge(a,b), rest...]) == combine(v, s, [a, b, rest...])`.
+    /// Only called when [`Propagation::associative`] is true.
+    fn merge(&self, _a: Self::Msg, _b: Self::Msg) -> Self::Msg {
+        panic!("merge() called on a non-associative propagation program")
+    }
+
+    /// Serialized size of one message in bytes (exact byte accounting for
+    /// the network/disk metrics). Includes the 4-byte destination id.
+    fn msg_bytes(&self, msg: &Self::Msg) -> u64;
+
+    /// Serialized size of one vertex's state (charged when the Combine
+    /// stage writes results back to disk).
+    fn state_bytes(&self) -> u64 {
+        12
+    }
+
+    /// CPU record-operations per transfer call.
+    fn transfer_ops(&self) -> f64 {
+        1.0
+    }
+
+    /// CPU record-operations per combined message.
+    fn combine_ops(&self) -> f64 {
+        1.0
+    }
+}
+
+/// A vertex-oriented task routed through virtual vertices (§3.2).
+pub trait VirtualVertexTask {
+    /// The value each vertex contributes.
+    type Msg: Clone + Send;
+    /// A combined output per virtual vertex.
+    type Out;
+
+    /// The virtual vertex `v` contributes to, and the value — or `None` to
+    /// contribute nothing.
+    fn transfer(&self, v: VertexId, g: &CsrGraph) -> Option<(u64, Self::Msg)>;
+
+    /// Combine all values that reached virtual vertex `vid`.
+    fn combine(&self, vid: u64, msgs: Vec<Self::Msg>) -> Self::Out;
+
+    /// True when `combine` tolerates pre-merged messages.
+    fn associative(&self) -> bool {
+        false
+    }
+
+    /// Merge two messages for the same virtual vertex.
+    fn merge(&self, _a: Self::Msg, _b: Self::Msg) -> Self::Msg {
+        panic!("merge() called on a non-associative virtual-vertex task")
+    }
+
+    /// Serialized message size (including the 8-byte virtual id).
+    fn msg_bytes(&self, msg: &Self::Msg) -> u64;
+
+    /// CPU record-operations per transfer call.
+    fn transfer_ops(&self) -> f64 {
+        1.0
+    }
+
+    /// CPU record-operations per combined message.
+    fn combine_ops(&self) -> f64 {
+        1.0
+    }
+}

@@ -1,0 +1,171 @@
+//! Property-based tests of the propagation engine: results must be
+//! invariant to partitioning, placement, optimization level and cluster
+//! shape; byte accounting must be exact; convergence must be stable.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use surfer_cluster::{ClusterConfig, MachineId};
+use surfer_core::{EngineOptions, Propagation, PropagationEngine};
+use surfer_graph::builder::from_edges;
+use surfer_graph::{CsrGraph, VertexId};
+use surfer_partition::{random_partition, PartitionedGraph};
+
+/// A generic associative test program: every vertex forwards its value,
+/// receivers sum. One iteration computes, for each v, the sum of in-neighbor
+/// values (with multiplicity).
+struct SumForward;
+
+impl Propagation for SumForward {
+    type State = u64;
+    type Msg = u64;
+
+    fn init(&self, v: VertexId, _g: &CsrGraph) -> u64 {
+        v.0 as u64 + 1
+    }
+    fn transfer(&self, _f: VertexId, s: &u64, _t: VertexId, _g: &CsrGraph) -> Option<u64> {
+        Some(*s)
+    }
+    fn combine(&self, _v: VertexId, _old: &u64, msgs: Vec<u64>, _g: &CsrGraph) -> u64 {
+        msgs.iter().sum()
+    }
+    fn associative(&self) -> bool {
+        true
+    }
+    fn merge(&self, a: u64, b: u64) -> u64 {
+        a + b
+    }
+    fn msg_bytes(&self, _m: &u64) -> u64 {
+        12
+    }
+}
+
+/// The serial reference of one SumForward iteration.
+fn reference(g: &CsrGraph, state: &[u64]) -> Vec<u64> {
+    let mut next = vec![0u64; state.len()];
+    for e in g.edges() {
+        next[e.dst.index()] += state[e.src.index()];
+    }
+    next
+}
+
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (2u32..30).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..150)
+            .prop_map(move |edges| from_edges(n, edges))
+    })
+}
+
+fn partitioned(g: &CsrGraph, p: u32, machines: u16, seed: u64) -> PartitionedGraph {
+    let part = random_partition(g.num_vertices(), p, seed);
+    let placement =
+        (0..p).map(|i| MachineId(((i as u64 + seed) % machines as u64) as u16)).collect();
+    PartitionedGraph::from_parts(Arc::new(g.clone()), part, placement)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn results_invariant_to_partitioning_and_options(
+        g in arb_graph(),
+        p in 1u32..5,
+        seed in 0u64..50,
+    ) {
+        let p = p.min(g.num_vertices());
+        let cluster = ClusterConfig::flat(3).build();
+        let expected = {
+            let init: Vec<u64> = g.vertices().map(|v| v.0 as u64 + 1).collect();
+            reference(&g, &init)
+        };
+        for opts in [EngineOptions::none(), EngineOptions::full()] {
+            let pg = partitioned(&g, p, 3, seed);
+            let engine = PropagationEngine::new(&cluster, &pg, opts);
+            let mut state = engine.init_state(&SumForward);
+            engine.run_iteration(&SumForward, &mut state);
+            prop_assert_eq!(&state, &expected);
+        }
+    }
+
+    #[test]
+    fn network_bytes_match_cross_edges_exactly(g in arb_graph(), seed in 0u64..50) {
+        // Without local combination and with all partitions on distinct
+        // machines, network bytes = (#cross-partition edges) x msg size.
+        let p = 2u32.min(g.num_vertices());
+        let machines = 2u16;
+        let pg = {
+            let part = random_partition(g.num_vertices(), p, seed);
+            let placement = (0..p).map(|i| MachineId(i as u16)).collect();
+            PartitionedGraph::from_parts(Arc::new(g.clone()), part, placement)
+        };
+        let cluster = ClusterConfig::flat(machines).build();
+        let engine = PropagationEngine::new(&cluster, &pg, EngineOptions::none());
+        let mut state = engine.init_state(&SumForward);
+        let report = engine.run_iteration(&SumForward, &mut state);
+        let cross: u64 = pg
+            .partitions()
+            .map(|pid| pg.meta(pid).cross_out_edges.values().sum::<u64>())
+            .sum();
+        prop_assert_eq!(report.network_bytes, cross * 12);
+    }
+
+    #[test]
+    fn local_combination_never_increases_traffic(g in arb_graph(), seed in 0u64..50) {
+        let p = 3u32.min(g.num_vertices());
+        let pg = partitioned(&g, p, 3, seed);
+        let cluster = ClusterConfig::flat(3).build();
+        let run = |opts| {
+            let engine = PropagationEngine::new(&cluster, &pg, opts);
+            let mut state = engine.init_state(&SumForward);
+            engine.run_iteration(&SumForward, &mut state).network_bytes
+        };
+        prop_assert!(run(EngineOptions::full()) <= run(EngineOptions::none()));
+    }
+
+    #[test]
+    fn quiescent_programs_converge_immediately(g in arb_graph()) {
+        /// A program that never sends.
+        struct Silent;
+        impl Propagation for Silent {
+            type State = ();
+            type Msg = ();
+            fn init(&self, _v: VertexId, _g: &CsrGraph) {}
+            fn transfer(&self, _f: VertexId, _s: &(), _t: VertexId, _g: &CsrGraph) -> Option<()> {
+                None
+            }
+            fn combine(&self, _v: VertexId, _o: &(), _m: Vec<()>, _g: &CsrGraph) {}
+            fn msg_bytes(&self, _m: &()) -> u64 {
+                4
+            }
+        }
+        let p = 2u32.min(g.num_vertices());
+        let pg = partitioned(&g, p, 2, 1);
+        let cluster = ClusterConfig::flat(2).build();
+        let engine = PropagationEngine::new(&cluster, &pg, EngineOptions::full());
+        let mut state = engine.init_state(&Silent);
+        let (report, iters) = engine.run_until_converged(&Silent, &mut state, 50);
+        prop_assert_eq!(iters, 1, "silent program should stop after one iteration");
+        prop_assert_eq!(report.network_bytes, 0);
+    }
+
+    #[test]
+    fn multi_iteration_report_accumulates(g in arb_graph(), iters in 1u32..4) {
+        let p = 2u32.min(g.num_vertices());
+        let pg = partitioned(&g, p, 2, 7);
+        let cluster = ClusterConfig::flat(2).build();
+        let engine = PropagationEngine::new(&cluster, &pg, EngineOptions::full());
+        // Sum of single-iteration reports equals the multi-iteration report.
+        let mut s1 = engine.init_state(&SumForward);
+        let mut acc_net = 0u64;
+        let mut acc_resp = 0.0;
+        for _ in 0..iters {
+            let r = engine.run_iteration(&SumForward, &mut s1);
+            acc_net += r.network_bytes;
+            acc_resp += r.response_time.as_secs_f64();
+        }
+        let mut s2 = engine.init_state(&SumForward);
+        let multi = engine.run(&SumForward, &mut s2, iters);
+        prop_assert_eq!(s1, s2);
+        prop_assert_eq!(multi.network_bytes, acc_net);
+        prop_assert!((multi.response_time.as_secs_f64() - acc_resp).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,202 @@
+//! The paper's adjacency-list storage format.
+//!
+//! §3: *"Surfer uses the adjacency list storage as graph storage. The format
+//! is `<ID, d, neighbors>`, where ID is the ID of the vertex, d is the degree
+//! of the vertex, and neighbors contains the vertex IDs n0..n_{d-1} of the
+//! neighbor vertices."*
+//!
+//! Records are fixed little-endian: `u32 id, u32 d, d × u32 neighbor`. A
+//! partition file is simply the concatenation of its vertices' records; this
+//! module provides the codec plus streaming encode/decode over whole graphs,
+//! and is what the cluster simulator uses to charge *exact* disk and network
+//! byte counts.
+
+use crate::csr::CsrGraph;
+use crate::vertex::VertexId;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// One `<ID, d, neighbors>` record.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AdjacencyRecord {
+    /// Vertex id.
+    pub id: VertexId,
+    /// Out-neighbors (length is the stored degree `d`).
+    pub neighbors: Vec<VertexId>,
+}
+
+impl AdjacencyRecord {
+    /// Encoded size in bytes: 8-byte header + 4 bytes per neighbor.
+    pub fn encoded_len(&self) -> usize {
+        8 + 4 * self.neighbors.len()
+    }
+
+    /// Append this record's encoding to `buf`.
+    pub fn encode(&self, buf: &mut BytesMut) {
+        buf.reserve(self.encoded_len());
+        buf.put_u32_le(self.id.0);
+        buf.put_u32_le(self.neighbors.len() as u32);
+        for n in &self.neighbors {
+            buf.put_u32_le(n.0);
+        }
+    }
+
+    /// Decode one record from the front of `buf`, advancing it.
+    pub fn decode(buf: &mut impl Buf) -> crate::Result<AdjacencyRecord> {
+        if buf.remaining() < 8 {
+            return Err(crate::GraphError::Corrupt(format!(
+                "adjacency record header truncated: {} bytes remaining",
+                buf.remaining()
+            )));
+        }
+        let id = VertexId(buf.get_u32_le());
+        let d = buf.get_u32_le() as usize;
+        if buf.remaining() < 4 * d {
+            return Err(crate::GraphError::Corrupt(format!(
+                "adjacency record for {id} declares degree {d} but only {} bytes remain",
+                buf.remaining()
+            )));
+        }
+        let neighbors = (0..d).map(|_| VertexId(buf.get_u32_le())).collect();
+        Ok(AdjacencyRecord { id, neighbors })
+    }
+}
+
+/// Encode an entire graph into one adjacency-list blob, vertices in id order.
+pub fn encode_graph(g: &CsrGraph) -> Bytes {
+    let mut buf = BytesMut::with_capacity(g.storage_bytes() as usize);
+    for v in g.vertices() {
+        buf.put_u32_le(v.0);
+        let nbrs = g.neighbors(v);
+        buf.put_u32_le(nbrs.len() as u32);
+        for n in nbrs {
+            buf.put_u32_le(n.0);
+        }
+    }
+    buf.freeze()
+}
+
+/// Decode an adjacency-list blob produced by [`encode_graph`].
+///
+/// The blob must contain one record per vertex with ids forming the dense
+/// range `0..n` in order (the canonical whole-graph encoding).
+pub fn decode_graph(mut blob: &[u8]) -> crate::Result<CsrGraph> {
+    let mut offsets = vec![0u64];
+    let mut targets = Vec::new();
+    let mut expected = 0u32;
+    while blob.has_remaining() {
+        let rec = AdjacencyRecord::decode(&mut blob)?;
+        if rec.id.0 != expected {
+            return Err(crate::GraphError::Corrupt(format!(
+                "expected record for vertex {expected}, found {}",
+                rec.id
+            )));
+        }
+        expected += 1;
+        targets.extend_from_slice(&rec.neighbors);
+        offsets.push(targets.len() as u64);
+    }
+    CsrGraph::from_raw_parts(offsets, targets)
+}
+
+/// Iterator decoding successive records from a blob (does not require dense
+/// ids — partition files store an arbitrary subset of vertices).
+pub struct RecordReader<'a> {
+    rest: &'a [u8],
+}
+
+impl<'a> RecordReader<'a> {
+    /// Read records from `blob` until it is exhausted.
+    pub fn new(blob: &'a [u8]) -> Self {
+        RecordReader { rest: blob }
+    }
+}
+
+impl Iterator for RecordReader<'_> {
+    type Item = crate::Result<AdjacencyRecord>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.rest.is_empty() {
+            return None;
+        }
+        match AdjacencyRecord::decode(&mut self.rest) {
+            Ok(rec) => Some(Ok(rec)),
+            Err(e) => {
+                self.rest = &[]; // stop after first corruption
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::from_edges;
+
+    #[test]
+    fn record_roundtrip() {
+        let rec = AdjacencyRecord { id: VertexId(7), neighbors: vec![VertexId(1), VertexId(3)] };
+        let mut buf = BytesMut::new();
+        rec.encode(&mut buf);
+        assert_eq!(buf.len(), rec.encoded_len());
+        let mut slice: &[u8] = &buf;
+        let back = AdjacencyRecord::decode(&mut slice).unwrap();
+        assert_eq!(back, rec);
+        assert!(slice.is_empty());
+    }
+
+    #[test]
+    fn graph_roundtrip() {
+        let g = from_edges(5, [(0, 1), (0, 4), (2, 3), (4, 0)]);
+        let blob = encode_graph(&g);
+        assert_eq!(blob.len() as u64, g.storage_bytes());
+        let back = decode_graph(&blob).unwrap();
+        assert_eq!(back, g);
+    }
+
+    #[test]
+    fn truncated_header_is_corrupt() {
+        let blob = [1u8, 0, 0];
+        let mut s: &[u8] = &blob;
+        assert!(AdjacencyRecord::decode(&mut s).is_err());
+    }
+
+    #[test]
+    fn truncated_neighbors_is_corrupt() {
+        let mut buf = BytesMut::new();
+        buf.put_u32_le(0);
+        buf.put_u32_le(3); // claims 3 neighbors
+        buf.put_u32_le(1); // provides 1
+        let mut s: &[u8] = &buf;
+        assert!(AdjacencyRecord::decode(&mut s).is_err());
+    }
+
+    #[test]
+    fn decode_graph_rejects_out_of_order_ids() {
+        let mut buf = BytesMut::new();
+        AdjacencyRecord { id: VertexId(1), neighbors: vec![] }.encode(&mut buf);
+        assert!(decode_graph(&buf).is_err());
+    }
+
+    #[test]
+    fn record_reader_streams_sparse_ids() {
+        let mut buf = BytesMut::new();
+        AdjacencyRecord { id: VertexId(10), neighbors: vec![VertexId(2)] }.encode(&mut buf);
+        AdjacencyRecord { id: VertexId(20), neighbors: vec![] }.encode(&mut buf);
+        let recs: Vec<_> = RecordReader::new(&buf).collect::<crate::Result<_>>().unwrap();
+        assert_eq!(recs.len(), 2);
+        assert_eq!(recs[0].id, VertexId(10));
+        assert_eq!(recs[1].id, VertexId(20));
+    }
+
+    #[test]
+    fn record_reader_stops_on_corruption() {
+        let mut buf = BytesMut::new();
+        AdjacencyRecord { id: VertexId(0), neighbors: vec![] }.encode(&mut buf);
+        buf.put_u8(0xFF); // trailing garbage
+        let results: Vec<_> = RecordReader::new(&buf).collect();
+        assert_eq!(results.len(), 2);
+        assert!(results[0].is_ok());
+        assert!(results[1].is_err());
+    }
+}

@@ -1,0 +1,85 @@
+//! Directed edges.
+
+use crate::vertex::VertexId;
+use serde::{Deserialize, Serialize};
+
+/// A directed edge `src -> dst`.
+///
+/// The study focuses on directed graphs (§2); undirected graphs are
+/// represented by storing both directions.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Debug, Serialize, Deserialize)]
+pub struct Edge {
+    /// Source vertex.
+    pub src: VertexId,
+    /// Destination vertex.
+    pub dst: VertexId,
+}
+
+impl Edge {
+    /// Construct an edge from raw endpoints.
+    #[inline]
+    pub const fn new(src: VertexId, dst: VertexId) -> Self {
+        Edge { src, dst }
+    }
+
+    /// Construct an edge from raw `u32` endpoints (test/generator convenience).
+    #[inline]
+    pub const fn raw(src: u32, dst: u32) -> Self {
+        Edge { src: VertexId(src), dst: VertexId(dst) }
+    }
+
+    /// The edge with source and destination swapped — the unit of work in the
+    /// Reverse Link Graph (RLG) application.
+    #[inline]
+    pub const fn reversed(self) -> Self {
+        Edge { src: self.dst, dst: self.src }
+    }
+
+    /// True when both endpoints are the same vertex.
+    #[inline]
+    pub const fn is_self_loop(self) -> bool {
+        self.src.0 == self.dst.0
+    }
+}
+
+impl From<(u32, u32)> for Edge {
+    #[inline]
+    fn from((s, d): (u32, u32)) -> Self {
+        Edge::raw(s, d)
+    }
+}
+
+impl std::fmt::Display for Edge {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}->{}", self.src, self.dst)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let e = Edge::raw(1, 2);
+        assert_eq!(e.reversed(), Edge::raw(2, 1));
+        assert_eq!(e.reversed().reversed(), e);
+    }
+
+    #[test]
+    fn self_loop_detection() {
+        assert!(Edge::raw(3, 3).is_self_loop());
+        assert!(!Edge::raw(3, 4).is_self_loop());
+    }
+
+    #[test]
+    fn tuple_conversion() {
+        let e: Edge = (5u32, 6u32).into();
+        assert_eq!(e, Edge::raw(5, 6));
+    }
+
+    #[test]
+    fn display_is_arrowed() {
+        assert_eq!(Edge::raw(1, 2).to_string(), "1->2");
+    }
+}

@@ -1,0 +1,54 @@
+//! Erdős–Rényi G(n, m) random directed graphs — the "no structure" control
+//! used by partitioning-quality tests (a partitioner cannot find good cuts
+//! in a uniformly random graph, which bounds achievable inner-edge ratios).
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Generate a directed G(n, m) graph: `m` edges sampled uniformly at random
+/// (without self-loops; duplicates removed so the result may have slightly
+/// fewer than `m` edges).
+pub fn gnm(n: u32, m: u64, seed: u64) -> CsrGraph {
+    assert!(n >= 2, "gnm needs at least 2 vertices");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut b = GraphBuilder::with_capacity(n, m as usize);
+    for _ in 0..m {
+        let src = rng.gen_range(0..n);
+        let mut dst = rng.gen_range(0..n - 1);
+        if dst >= src {
+            dst += 1; // skip self-loop
+        }
+        b.add_edge_raw(src, dst);
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_and_determinism() {
+        let g = gnm(100, 500, 11);
+        assert_eq!(g.num_vertices(), 100);
+        assert!(g.num_edges() > 450 && g.num_edges() <= 500);
+        assert_eq!(g, gnm(100, 500, 11));
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = gnm(50, 400, 2);
+        for v in g.vertices() {
+            assert!(!g.has_edge(v, v));
+        }
+    }
+
+    #[test]
+    fn degrees_are_roughly_uniform() {
+        let g = gnm(200, 4_000, 5);
+        // Uniform sampling: max degree stays within a small factor of mean.
+        assert!(f64::from(g.max_out_degree()) < 3.0 * g.avg_out_degree());
+    }
+}

@@ -1,0 +1,106 @@
+//! Barabási–Albert preferential attachment — an alternative social-network
+//! generator whose power-law exponent is sharper than R-MAT's; used by the
+//! parametric studies as a robustness check of the generator choice.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`barabasi_albert`].
+#[derive(Debug, Clone, Copy)]
+pub struct BarabasiAlbertConfig {
+    /// Total vertices.
+    pub n: u32,
+    /// Edges each arriving vertex attaches with (`m`); also the seed clique
+    /// size.
+    pub m: u32,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generate a directed preferential-attachment graph: vertex `v` (arriving
+/// in id order) attaches `m` out-edges to earlier vertices chosen
+/// proportionally to their current degree (via the classic edge-endpoint
+/// sampling trick).
+pub fn barabasi_albert(cfg: &BarabasiAlbertConfig) -> CsrGraph {
+    assert!(cfg.m >= 1, "need at least one edge per vertex");
+    assert!(cfg.n > cfg.m, "n must exceed m");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = GraphBuilder::with_capacity(cfg.n, (cfg.n * cfg.m) as usize);
+    // Endpoint pool: sampling a uniform element = degree-proportional vertex.
+    let mut pool: Vec<u32> = Vec::with_capacity(2 * (cfg.n * cfg.m) as usize);
+    // Seed: a directed cycle over the first m+1 vertices so everyone has
+    // degree > 0.
+    for v in 0..=cfg.m {
+        let t = (v + 1) % (cfg.m + 1);
+        b.add_edge_raw(v, t);
+        pool.push(v);
+        pool.push(t);
+    }
+    for v in cfg.m + 1..cfg.n {
+        let mut chosen = std::collections::BTreeSet::new();
+        let mut guard = 0;
+        while chosen.len() < cfg.m as usize && guard < 50 * cfg.m {
+            let t = pool[rng.gen_range(0..pool.len())];
+            if t != v {
+                chosen.insert(t);
+            }
+            guard += 1;
+        }
+        for &t in &chosen {
+            b.add_edge_raw(v, t);
+            pool.push(v);
+            pool.push(t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(n: u32, m: u32, seed: u64) -> BarabasiAlbertConfig {
+        BarabasiAlbertConfig { n, m, seed }
+    }
+
+    #[test]
+    fn shape_and_determinism() {
+        let g = barabasi_albert(&cfg(500, 3, 1));
+        assert_eq!(g.num_vertices(), 500);
+        // Each non-seed vertex attaches m edges (dedup can only drop a few).
+        assert!(g.num_edges() as u32 >= 3 * (500 - 4) - 10);
+        assert_eq!(g, barabasi_albert(&cfg(500, 3, 1)));
+    }
+
+    #[test]
+    fn rich_get_richer() {
+        let g = barabasi_albert(&cfg(2000, 2, 7));
+        let in_deg = g.in_degrees();
+        let max = *in_deg.iter().max().unwrap();
+        let mean = in_deg.iter().map(|&d| d as f64).sum::<f64>() / in_deg.len() as f64;
+        assert!(
+            (max as f64) > 15.0 * mean,
+            "expected a heavy hub: max {max}, mean {mean:.1}"
+        );
+        // Early vertices accumulate the most in-degree.
+        let early: u32 = in_deg[..20].iter().sum();
+        let late: u32 = in_deg[in_deg.len() - 20..].iter().sum();
+        assert!(early > 5 * late.max(1), "early {early} late {late}");
+    }
+
+    #[test]
+    fn no_self_loops() {
+        let g = barabasi_albert(&cfg(300, 2, 3));
+        for v in g.vertices() {
+            assert!(!g.has_edge(v, v));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "n must exceed m")]
+    fn degenerate_config_rejected() {
+        barabasi_albert(&cfg(3, 3, 0));
+    }
+}

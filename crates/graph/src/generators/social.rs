@@ -1,0 +1,296 @@
+//! The paper's synthetic social-graph construction and the MSN-like stand-in.
+//!
+//! App. F.1: *"We first generate multiple small graphs with small-world
+//! characteristics using an existing generator \[R-MAT\], and next randomly
+//! change a ratio (p_r) of edges to connect these small graphs into a large
+//! graph. The default value of p_r is 5 %."*
+//!
+//! [`stitched_small_worlds`] implements exactly that: per-community R-MAT
+//! graphs, then a `p_r` fraction of edge *endpoints* rewired to vertices of
+//! other communities. The resulting graph has pronounced community structure
+//! (so a good partitioner achieves a high inner-edge ratio) with a controlled
+//! amount of cross-community linkage — which is what makes Table 5 and the
+//! locality-optimization results reproducible in shape.
+//!
+//! [`msn_like`] is the scaled stand-in for the proprietary MSN 2007 snapshot
+//! (508.7 M vertices, 29.6 B edges): same construction, power-law degrees via
+//! skewed R-MAT, average degree ≈ 58 like the real snapshot.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use crate::generators::rmat::{rmat, RmatConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`stitched_small_worlds`].
+#[derive(Debug, Clone)]
+pub struct SocialGraphConfig {
+    /// Number of small community graphs to generate.
+    pub communities: u32,
+    /// log2 of the vertex count of each community (R-MAT scale).
+    pub community_scale: u32,
+    /// Edges sampled per community.
+    pub edges_per_community: u64,
+    /// Ratio of edge endpoints rewired across communities (paper default 5 %).
+    pub rewire_ratio: f64,
+    /// Strength of hierarchical locality for rewired endpoints, in `[0, 1]`.
+    /// A rewired endpoint diverges from its source community at hierarchy
+    /// level k with probability proportional to `(1 - locality)^(k-1)` —
+    /// sibling communities attract exponentially more cross edges than
+    /// distant ones. 0 reproduces plain uniform stitching. See
+    /// `hierarchical_target` for the model.
+    pub locality: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl SocialGraphConfig {
+    /// Paper-default configuration: `communities` R-MAT communities of
+    /// `2^scale` vertices, average out-degree ~12, p_r = 5 %.
+    pub fn new(communities: u32, community_scale: u32, seed: u64) -> Self {
+        let verts = 1u64 << community_scale;
+        SocialGraphConfig {
+            communities,
+            community_scale,
+            edges_per_community: verts * 12,
+            rewire_ratio: 0.05,
+            locality: 0.75,
+            seed,
+        }
+    }
+
+    /// Total vertex count of the stitched graph.
+    pub fn num_vertices(&self) -> u32 {
+        self.communities * (1u32 << self.community_scale)
+    }
+}
+
+/// Generate the paper's synthetic graph: R-MAT communities stitched with a
+/// `rewire_ratio` of cross-community endpoints.
+pub fn stitched_small_worlds(cfg: &SocialGraphConfig) -> CsrGraph {
+    assert!(cfg.communities >= 1, "need at least one community");
+    assert!((0.0..=1.0).contains(&cfg.rewire_ratio), "rewire_ratio in [0,1]");
+    assert!((0.0..=1.0).contains(&cfg.locality), "locality in [0,1]");
+    let community_size = 1u32 << cfg.community_scale;
+    let n = cfg.num_vertices();
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let mut b = GraphBuilder::with_capacity(n, (cfg.edges_per_community * cfg.communities as u64) as usize)
+        .drop_self_loops();
+    for c in 0..cfg.communities {
+        let base = c * community_size;
+        let local = rmat(&RmatConfig::new(
+            cfg.community_scale,
+            cfg.edges_per_community,
+            cfg.seed.wrapping_mul(0x9E37_79B9).wrapping_add(c as u64),
+        ));
+        for e in local.edges() {
+            // Rewire each endpoint across communities with probability p_r,
+            // targeting a hierarchically-near community.
+            let pick = |orig: u32, rng: &mut StdRng| -> u32 {
+                if cfg.communities > 1 && rng.gen::<f64>() < cfg.rewire_ratio {
+                    let tc = hierarchical_target(c, cfg.communities, cfg.locality, rng);
+                    tc * community_size + rng.gen_range(0..community_size)
+                } else {
+                    base + orig
+                }
+            };
+            let src = pick(e.src.0, &mut rng);
+            let dst = pick(e.dst.0, &mut rng);
+            if src != dst {
+                b.add_edge_raw(src, dst);
+            }
+        }
+    }
+    b.build()
+}
+
+/// Choose a target community for a rewired endpoint.
+///
+/// Communities form a complete binary hierarchy (think: city, region,
+/// country). A rewired endpoint diverges from its source community at
+/// hierarchy level `k` (k = 1 flips only the lowest bit — the *sibling*
+/// community) with probability proportional to `beta^(k-1)`, where
+/// `beta = 1 - locality`; the bits below the divergence level are uniform.
+/// Sibling communities therefore attract exponentially more cross edges
+/// than communities separated by the top of the hierarchy — the structure
+/// the partition sketch's proximity property (§4.1) describes, and the
+/// reason bandwidth-aware placement has anything to exploit. `locality = 0`
+/// (or a non-power-of-two community count) falls back to uniform targets.
+fn hierarchical_target(src_community: u32, communities: u32, locality: f64, rng: &mut StdRng) -> u32 {
+    if communities == 1 {
+        return 0;
+    }
+    if locality <= 0.0 || !communities.is_power_of_two() {
+        return rng.gen_range(0..communities);
+    }
+    let beta = 1.0 - locality;
+    let bits = communities.trailing_zeros();
+    // Sample the divergence level k in 1..=bits with P(k) ~ beta^(k-1).
+    let mut total = 0.0;
+    let mut w = 1.0;
+    for _ in 0..bits {
+        total += w;
+        w *= beta;
+    }
+    let mut x = rng.gen::<f64>() * total;
+    let mut k = bits;
+    w = 1.0;
+    for level in 1..=bits {
+        x -= w;
+        if x <= 0.0 {
+            k = level;
+            break;
+        }
+        w *= beta;
+    }
+    // Flip bit k-1, randomize the bits below it.
+    let flipped = src_community ^ (1 << (k - 1));
+    let low_mask = (1u32 << (k - 1)) - 1;
+    (flipped & !low_mask) | (rng.gen::<u32>() & low_mask)
+}
+
+/// Scale presets for [`msn_like`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MsnScale {
+    /// ~8 K vertices — unit tests.
+    Tiny,
+    /// ~65 K vertices — integration tests.
+    Small,
+    /// ~260 K vertices — the default for the reproduction harness.
+    Medium,
+    /// ~1 M vertices — benchmark runs.
+    Large,
+}
+
+/// Generate an MSN-2007-like social graph at the chosen scale.
+///
+/// Mirrors the real snapshot's shape — strong communities, power-law degree
+/// distribution, dense average degree — at a size a single machine can hold.
+/// The substitution is recorded in DESIGN.md §2.
+pub fn msn_like(scale: MsnScale, seed: u64) -> CsrGraph {
+    // Many small communities: the hierarchical rewiring supplies the
+    // coarser structure, so partition counts up to 128 still align with
+    // community boundaries (Table 5's regime).
+    let (communities, community_scale) = match scale {
+        MsnScale::Tiny => (16, 9),      // 16 * 512      =   8_192 vertices
+        MsnScale::Small => (64, 10),    // 64 * 1024     =  65_536
+        MsnScale::Medium => (128, 11),  // 128 * 2048    = 262_144
+        MsnScale::Large => (256, 12),   // 256 * 4096    = 1_048_576
+    };
+    let mut cfg = SocialGraphConfig::new(communities, community_scale, seed);
+    // MSN snapshot: 29.6 B edges / 508.7 M vertices ≈ 58 edges per vertex;
+    // we sample ~25% extra because R-MAT dedup removes repeats.
+    cfg.edges_per_community = (1u64 << community_scale) * 24;
+    stitched_small_worlds(&cfg)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+
+    #[test]
+    fn stitched_graph_shape() {
+        let cfg = SocialGraphConfig::new(4, 8, 1);
+        let g = stitched_small_worlds(&cfg);
+        assert_eq!(g.num_vertices(), 1024);
+        assert!(g.num_edges() > 8_000, "got {}", g.num_edges());
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = SocialGraphConfig::new(4, 8, 42);
+        assert_eq!(stitched_small_worlds(&cfg), stitched_small_worlds(&cfg));
+    }
+
+    #[test]
+    fn communities_dominate_cross_edges() {
+        let cfg = SocialGraphConfig::new(8, 8, 3);
+        let g = stitched_small_worlds(&cfg);
+        let size = 256u32;
+        let cross = g
+            .edges()
+            .filter(|e| e.src.0 / size != e.dst.0 / size)
+            .count() as f64;
+        let frac = cross / g.num_edges() as f64;
+        // p_r = 5% per endpoint → just under 10% of edges cross communities.
+        assert!(frac > 0.02 && frac < 0.20, "cross fraction {frac}");
+    }
+
+    #[test]
+    fn zero_rewire_keeps_communities_disconnected() {
+        let mut cfg = SocialGraphConfig::new(3, 6, 5);
+        cfg.rewire_ratio = 0.0;
+        let g = stitched_small_worlds(&cfg);
+        let size = 64u32;
+        assert!(g.edges().all(|e| e.src.0 / size == e.dst.0 / size));
+    }
+
+    #[test]
+    fn msn_like_tiny_has_power_law_tail() {
+        let g = msn_like(MsnScale::Tiny, 7);
+        assert_eq!(g.num_vertices(), 8192);
+        assert!(f64::from(g.max_out_degree()) > 5.0 * g.avg_out_degree());
+        let hist = properties::degree_histogram(&g);
+        // Many low-degree vertices, few high-degree ones.
+        let low: u64 = hist.iter().filter(|(d, _)| *d <= 5).map(|(_, c)| *c).sum();
+        let high: u64 = hist.iter().filter(|(d, _)| *d >= 100).map(|(_, c)| *c).sum();
+        assert!(low > 10 * high.max(1), "low {low} high {high}");
+    }
+
+    #[test]
+    fn locality_concentrates_cross_edges_near_siblings() {
+        let mut cfg = SocialGraphConfig::new(8, 8, 13);
+        cfg.rewire_ratio = 0.2; // plenty of cross edges to measure
+        cfg.locality = 0.75;
+        let g = stitched_small_worlds(&cfg);
+        let size = 256u32;
+        let (mut sibling, mut top) = (0u64, 0u64);
+        for e in g.edges() {
+            let (cs, cd) = (e.src.0 / size, e.dst.0 / size);
+            if cs == cd {
+                continue;
+            }
+            if cs ^ cd == 1 {
+                sibling += 1; // 8 ordered sibling pairs
+            } else if (cs >= 4) != (cd >= 4) {
+                top += 1; // 32 ordered top-crossing pairs
+            }
+        }
+        // Proximity: per-pair sibling volume must dwarf per-pair top volume.
+        let sibling_pp = sibling as f64 / 8.0;
+        let top_pp = top as f64 / 32.0;
+        assert!(sibling_pp > 8.0 * top_pp, "sibling/pair {sibling_pp:.1} !>> top/pair {top_pp:.1}");
+    }
+
+    #[test]
+    fn zero_locality_is_uniform() {
+        let mut cfg = SocialGraphConfig::new(8, 8, 13);
+        cfg.rewire_ratio = 0.2;
+        cfg.locality = 0.0;
+        let g = stitched_small_worlds(&cfg);
+        let size = 256u32;
+        let (mut sibling, mut top) = (0u64, 0u64);
+        for e in g.edges() {
+            let (cs, cd) = (e.src.0 / size, e.dst.0 / size);
+            if cs == cd {
+                continue;
+            }
+            if cs ^ cd == 1 {
+                sibling += 1;
+            } else if (cs >= 4) != (cd >= 4) {
+                top += 1;
+            }
+        }
+        let ratio = (sibling as f64 / 8.0) / (top as f64 / 32.0);
+        assert!((0.7..1.4).contains(&ratio), "uniform stitching should be flat, ratio {ratio}");
+    }
+
+    #[test]
+    fn single_community_never_rewires() {
+        let cfg = SocialGraphConfig::new(1, 8, 9);
+        let g = stitched_small_worlds(&cfg);
+        assert_eq!(g.num_vertices(), 256);
+        assert!(g.num_edges() > 0);
+    }
+}

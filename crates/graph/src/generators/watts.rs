@@ -1,0 +1,94 @@
+//! Watts–Strogatz small-world graphs.
+//!
+//! Used as the "small graph with small-world characteristics" building block
+//! in the paper's synthetic construction (App. F.1) alongside R-MAT: a ring
+//! lattice where each vertex connects to its `k` nearest neighbors, with each
+//! edge rewired to a random endpoint with probability `beta`.
+
+use crate::builder::GraphBuilder;
+use crate::csr::CsrGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Configuration for [`watts_strogatz`].
+#[derive(Debug, Clone)]
+pub struct WattsStrogatzConfig {
+    /// Number of vertices.
+    pub n: u32,
+    /// Each vertex connects to its `k` nearest ring neighbors (`k/2` on each
+    /// side); must be even and `< n`.
+    pub k: u32,
+    /// Rewiring probability in `[0, 1]`.
+    pub beta: f64,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+/// Generate a directed small-world graph (both directions of each lattice
+/// edge are stored, matching the paper's directed-graph model of the
+/// friendship network).
+pub fn watts_strogatz(cfg: &WattsStrogatzConfig) -> CsrGraph {
+    assert!(cfg.k % 2 == 0, "k must be even");
+    assert!(cfg.k < cfg.n, "k must be < n");
+    assert!((0.0..=1.0).contains(&cfg.beta), "beta must be in [0,1]");
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    let n = cfg.n;
+    let mut b = GraphBuilder::with_capacity(n, (n as usize) * (cfg.k as usize));
+    for v in 0..n {
+        for j in 1..=cfg.k / 2 {
+            let mut t = (v + j) % n;
+            if rng.gen::<f64>() < cfg.beta {
+                // Rewire to a uniform non-self target.
+                t = rng.gen_range(0..n - 1);
+                if t >= v {
+                    t += 1;
+                }
+            }
+            b.add_undirected(v, t);
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::properties;
+
+    fn cfg(n: u32, k: u32, beta: f64, seed: u64) -> WattsStrogatzConfig {
+        WattsStrogatzConfig { n, k, beta, seed }
+    }
+
+    #[test]
+    fn lattice_without_rewiring_is_regular() {
+        let g = watts_strogatz(&cfg(20, 4, 0.0, 1));
+        for v in g.vertices() {
+            assert_eq!(g.out_degree(v), 4, "vertex {v}");
+        }
+    }
+
+    #[test]
+    fn rewired_graph_is_connected_and_symmetric() {
+        let g = watts_strogatz(&cfg(100, 6, 0.1, 2));
+        assert_eq!(properties::weakly_connected_components(&g).num_components, 1);
+        for e in g.edges() {
+            assert!(g.has_edge(e.dst, e.src), "missing reverse of {e}");
+        }
+    }
+
+    #[test]
+    fn small_world_has_short_paths() {
+        // beta=0 lattice on a ring of 200 with k=4 has diameter ~50;
+        // rewiring shrinks it dramatically.
+        let lattice = watts_strogatz(&cfg(200, 4, 0.0, 3));
+        let rewired = watts_strogatz(&cfg(200, 4, 0.3, 3));
+        let d0 = properties::estimate_diameter(&lattice, 4, 7);
+        let d1 = properties::estimate_diameter(&rewired, 4, 7);
+        assert!(d1 < d0, "rewired diameter {d1} not below lattice {d0}");
+    }
+
+    #[test]
+    fn deterministic() {
+        assert_eq!(watts_strogatz(&cfg(64, 4, 0.2, 9)), watts_strogatz(&cfg(64, 4, 0.2, 9)));
+    }
+}

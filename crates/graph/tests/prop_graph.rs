@@ -1,0 +1,186 @@
+//! Property-based tests of the graph substrate: CSR construction, codecs,
+//! traversals and generators under randomized inputs.
+
+use proptest::prelude::*;
+use surfer_graph::adjacency::{encode_graph, AdjacencyRecord, RecordReader};
+use surfer_graph::builder::{from_edges, GraphBuilder};
+use surfer_graph::generators::rmat::{rmat, RmatConfig};
+use surfer_graph::io::{read_edge_list, write_edge_list};
+use surfer_graph::properties::{
+    bfs_distances, sorted_intersection_size, triangle_count, weakly_connected_components,
+};
+use surfer_graph::subgraph::induced;
+use surfer_graph::VertexId;
+use bytes::BytesMut;
+
+fn arb_edges(n: u32, max_edges: usize) -> impl Strategy<Value = Vec<(u32, u32)>> {
+    proptest::collection::vec((0..n, 0..n), 0..max_edges)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn csr_neighbors_are_sorted_and_deduped(edges in arb_edges(30, 150)) {
+        let g = from_edges(30, edges);
+        for v in g.vertices() {
+            let nb = g.neighbors(v);
+            prop_assert!(nb.windows(2).all(|w| w[0] < w[1]), "unsorted/dup at {v}");
+            for &t in nb {
+                prop_assert!(g.has_edge(v, t));
+            }
+            prop_assert_eq!(nb.len() as u32, g.out_degree(v));
+        }
+    }
+
+    #[test]
+    fn text_io_roundtrips(edges in arb_edges(25, 100)) {
+        let g = from_edges(25, edges);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let back = read_edge_list(&buf[..], Some(25)).unwrap();
+        prop_assert_eq!(back, g);
+    }
+
+    #[test]
+    fn record_codec_roundtrips(id in 0u32..1000, nbrs in proptest::collection::vec(0u32..1000, 0..50)) {
+        let rec = AdjacencyRecord {
+            id: VertexId(id),
+            neighbors: nbrs.into_iter().map(VertexId).collect(),
+        };
+        let mut buf = BytesMut::new();
+        rec.encode(&mut buf);
+        prop_assert_eq!(buf.len(), rec.encoded_len());
+        let back: Vec<_> = RecordReader::new(&buf).collect::<Result<_, _>>().unwrap();
+        prop_assert_eq!(back, vec![rec]);
+    }
+
+    #[test]
+    fn truncated_blobs_never_panic(edges in arb_edges(20, 80), cut in 0usize..200) {
+        let g = from_edges(20, edges);
+        let blob = encode_graph(&g);
+        let cut = cut.min(blob.len());
+        // Decoding a truncated prefix must error or succeed, never panic.
+        let _ = surfer_graph::adjacency::decode_graph(&blob[..cut]);
+    }
+
+    #[test]
+    fn bfs_distances_are_metric(edges in arb_edges(20, 100), src in 0u32..20) {
+        let g = from_edges(20, edges);
+        let dist = bfs_distances(&g, VertexId(src));
+        prop_assert_eq!(dist[src as usize], 0);
+        // Triangle inequality along every edge.
+        for e in g.edges() {
+            let (du, dv) = (dist[e.src.index()], dist[e.dst.index()]);
+            if du != u32::MAX {
+                prop_assert!(dv <= du + 1, "edge {e} violates BFS metric");
+            }
+        }
+    }
+
+    #[test]
+    fn wcc_labels_are_consistent(edges in arb_edges(25, 100)) {
+        let g = from_edges(25, edges);
+        let cc = weakly_connected_components(&g);
+        for e in g.edges() {
+            prop_assert_eq!(cc.labels[e.src.index()], cc.labels[e.dst.index()]);
+        }
+        let distinct: std::collections::HashSet<_> = cc.labels.iter().collect();
+        prop_assert_eq!(distinct.len(), cc.num_components);
+    }
+
+    #[test]
+    fn triangle_count_matches_brute_force(edges in arb_edges(12, 50)) {
+        let g = from_edges(12, edges);
+        // Brute force over the undirected closure.
+        let n = g.num_vertices();
+        let und = |a: u32, b: u32| {
+            g.has_edge(VertexId(a), VertexId(b)) || g.has_edge(VertexId(b), VertexId(a))
+        };
+        let mut brute = 0u64;
+        for a in 0..n {
+            for b in a + 1..n {
+                for c in b + 1..n {
+                    if und(a, b) && und(b, c) && und(a, c) {
+                        brute += 1;
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(triangle_count(&g), brute);
+    }
+
+    #[test]
+    fn intersection_is_commutative(a in proptest::collection::btree_set(0u32..50, 0..20),
+                                   b in proptest::collection::btree_set(0u32..50, 0..20)) {
+        let av: Vec<VertexId> = a.iter().map(|&x| VertexId(x)).collect();
+        let bv: Vec<VertexId> = b.iter().map(|&x| VertexId(x)).collect();
+        prop_assert_eq!(
+            sorted_intersection_size(&av, &bv),
+            sorted_intersection_size(&bv, &av)
+        );
+        prop_assert_eq!(
+            sorted_intersection_size(&av, &bv),
+            a.intersection(&b).count() as u64
+        );
+    }
+
+    #[test]
+    fn induced_subgraph_preserves_internal_edges(edges in arb_edges(20, 80),
+                                                 pick in proptest::collection::btree_set(0u32..20, 1..10)) {
+        let g = from_edges(20, edges);
+        let ids: Vec<VertexId> = pick.iter().map(|&v| VertexId(v)).collect();
+        let sub = induced(&g, &ids);
+        // Every subgraph edge maps to an original edge within the selection.
+        for e in sub.graph.edges() {
+            let (gs, gd) = (sub.to_global(e.src), sub.to_global(e.dst));
+            prop_assert!(g.has_edge(gs, gd));
+            prop_assert!(pick.contains(&gs.0) && pick.contains(&gd.0));
+        }
+        // And the counts agree.
+        let expected = g
+            .edges()
+            .filter(|e| pick.contains(&e.src.0) && pick.contains(&e.dst.0))
+            .count() as u64;
+        prop_assert_eq!(sub.graph.num_edges(), expected);
+    }
+
+    #[test]
+    fn rmat_respects_shape(scale in 3u32..8, edges in 1u64..2000, seed in 0u64..100) {
+        let g = rmat(&RmatConfig::new(scale, edges, seed));
+        prop_assert_eq!(g.num_vertices(), 1u32 << scale);
+        prop_assert!(g.num_edges() <= edges);
+        for v in g.vertices() {
+            prop_assert!(!g.has_edge(v, v), "self-loop survived");
+        }
+    }
+
+    #[test]
+    fn builder_is_order_insensitive(edges in arb_edges(15, 60)) {
+        let g1 = from_edges(15, edges.clone());
+        let mut rev = edges;
+        rev.reverse();
+        let g2 = from_edges(15, rev);
+        prop_assert_eq!(g1, g2);
+    }
+
+    #[test]
+    fn storage_bytes_formula(edges in arb_edges(20, 80)) {
+        let g = from_edges(20, edges);
+        prop_assert_eq!(g.storage_bytes(), 8 * 20 + 4 * g.num_edges());
+        prop_assert_eq!(encode_graph(&g).len() as u64, g.storage_bytes());
+    }
+}
+
+#[test]
+fn graph_builder_duplicate_then_distinct_consistency() {
+    // Deterministic companion: assume_distinct on genuinely distinct input
+    // matches the dedup path.
+    let edges = vec![(0u32, 1u32), (1, 2), (2, 0)];
+    let dedup = from_edges(3, edges.clone());
+    let mut b = GraphBuilder::new(3).assume_distinct();
+    for (s, d) in edges {
+        b.add_edge_raw(s, d);
+    }
+    assert_eq!(b.build(), dedup);
+}

@@ -1,0 +1,111 @@
+//! The MapReduce programming interface (§3.1, App. A.1).
+//!
+//! Following the paper's home-grown MapReduce, the `map` function takes a
+//! whole *graph partition* as input (to at least allow partition-level data
+//! reduction), and `reduce` receives all values grouped by key after a
+//! hash-partitioned shuffle that is — by design, this is the point of the
+//! comparison — oblivious to the graph partitioning.
+
+use surfer_partition::PartitionedGraph;
+
+/// Collects the key/value pairs a map task emits.
+#[derive(Debug)]
+pub struct Emitter<K, V> {
+    pairs: Vec<(K, V)>,
+}
+
+impl<K, V> Emitter<K, V> {
+    /// A fresh, empty emitter.
+    pub fn new() -> Self {
+        Emitter { pairs: Vec::new() }
+    }
+
+    /// Emit one intermediate pair.
+    #[inline]
+    pub fn emit(&mut self, key: K, value: V) {
+        self.pairs.push((key, value));
+    }
+
+    /// Number of pairs emitted so far.
+    pub fn len(&self) -> usize {
+        self.pairs.len()
+    }
+
+    /// True when nothing was emitted.
+    pub fn is_empty(&self) -> bool {
+        self.pairs.is_empty()
+    }
+
+    /// Consume into the raw pair list.
+    pub fn into_pairs(self) -> Vec<(K, V)> {
+        self.pairs
+    }
+}
+
+impl<K, V> Default for Emitter<K, V> {
+    fn default() -> Self {
+        Emitter::new()
+    }
+}
+
+/// The user-defined map over one graph partition.
+pub trait PartitionMapper {
+    /// Intermediate key.
+    type Key: Ord + Clone + std::hash::Hash;
+    /// Intermediate value.
+    type Value: Clone;
+
+    /// Process partition `pid` of `pg`, emitting intermediate pairs.
+    fn map(&self, pg: &PartitionedGraph, pid: u32, out: &mut Emitter<Self::Key, Self::Value>);
+
+    /// Serialized size of one intermediate pair in bytes (drives the
+    /// simulated shuffle volume). Default: 4-byte key + 8-byte value;
+    /// variable-size payloads (neighbor lists) override per pair.
+    fn pair_bytes(&self, _key: &Self::Key, _value: &Self::Value) -> u64 {
+        12
+    }
+
+    /// CPU record-operations charged per edge scanned in the map (the map
+    /// reads the partition once).
+    fn ops_per_edge(&self) -> f64 {
+        1.0
+    }
+}
+
+/// The user-defined reduce.
+pub trait Reducer {
+    /// Intermediate key (must match the mapper's).
+    type Key;
+    /// Intermediate value (must match the mapper's).
+    type Value;
+    /// Final output record.
+    type Out;
+
+    /// Combine all values of `key` into zero or more outputs.
+    fn reduce(&self, key: &Self::Key, values: &[Self::Value], out: &mut Vec<Self::Out>);
+
+    /// Serialized size of one output record (drives simulated output I/O).
+    fn output_bytes(&self) -> u64 {
+        12
+    }
+
+    /// CPU record-operations charged per reduced value.
+    fn ops_per_value(&self) -> f64 {
+        1.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn emitter_collects_in_order() {
+        let mut e: Emitter<u32, u64> = Emitter::new();
+        assert!(e.is_empty());
+        e.emit(2, 10);
+        e.emit(1, 20);
+        assert_eq!(e.len(), 2);
+        assert_eq!(e.into_pairs(), vec![(2, 10), (1, 20)]);
+    }
+}

@@ -1,0 +1,151 @@
+//! Contiguous per-partition vertex-ID encoding (App. B).
+//!
+//! *"Instead of maintaining a global mapping from an arbitrary vertex ID to
+//! its partition ID, we encode the vertex IDs such that the vertex IDs
+//! within a partition compose a consecutive range."* The partition of an
+//! encoded ID is then a binary search over `P` range starts — this is what
+//! makes fault recovery's "which partition does this incoming edge come
+//! from" lookup cheap.
+
+use crate::assignment::Partitioning;
+use serde::{Deserialize, Serialize};
+use surfer_graph::VertexId;
+
+/// A bijection between original vertex ids and partition-contiguous encoded
+/// ids.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct VertexEncoding {
+    /// `starts[p]` = first encoded id of partition `p`; `starts[P]` = n.
+    starts: Vec<u32>,
+    /// `encode[original] = encoded`.
+    encode: Vec<u32>,
+    /// `decode[encoded] = original`.
+    decode: Vec<u32>,
+}
+
+impl VertexEncoding {
+    /// Build the encoding for a partitioning. Vertices keep their relative
+    /// order within each partition.
+    pub fn new(p: &Partitioning) -> Self {
+        let n = p.num_vertices() as usize;
+        let sizes = p.sizes();
+        let mut starts = vec![0u32; p.num_partitions() as usize + 1];
+        for (i, &s) in sizes.iter().enumerate() {
+            starts[i + 1] = starts[i] + s;
+        }
+        let mut cursor = starts.clone();
+        let mut encode = vec![0u32; n];
+        let mut decode = vec![0u32; n];
+        for v in 0..n as u32 {
+            let pid = p.pid_of(VertexId(v)) as usize;
+            let e = cursor[pid];
+            cursor[pid] += 1;
+            encode[v as usize] = e;
+            decode[e as usize] = v;
+        }
+        VertexEncoding { starts, encode, decode }
+    }
+
+    /// Encoded id of an original vertex.
+    #[inline]
+    pub fn encode(&self, v: VertexId) -> VertexId {
+        VertexId(self.encode[v.index()])
+    }
+
+    /// Original id of an encoded vertex.
+    #[inline]
+    pub fn decode(&self, e: VertexId) -> VertexId {
+        VertexId(self.decode[e.index()])
+    }
+
+    /// Partition of an encoded id — a binary search over range starts, no
+    /// global map needed (the point of the encoding).
+    pub fn pid_of_encoded(&self, e: VertexId) -> u32 {
+        // partition_point handles duplicate starts (empty partitions), where
+        // binary_search could land on any of the equal entries.
+        (self.starts.partition_point(|&s| s <= e.0) - 1) as u32
+    }
+
+    /// The encoded-id range `[start, end)` of partition `p`.
+    pub fn range(&self, p: u32) -> (VertexId, VertexId) {
+        (VertexId(self.starts[p as usize]), VertexId(self.starts[p as usize + 1]))
+    }
+
+    /// Number of partitions.
+    pub fn num_partitions(&self) -> u32 {
+        (self.starts.len() - 1) as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn enc() -> (Partitioning, VertexEncoding) {
+        // vertices 0..6 partitioned [0,1,0,2,1,0]
+        let p = Partitioning::new(vec![0, 1, 0, 2, 1, 0], 3);
+        let e = VertexEncoding::new(&p);
+        (p, e)
+    }
+
+    #[test]
+    fn ranges_are_contiguous_and_sized() {
+        let (p, e) = enc();
+        assert_eq!(e.range(0), (VertexId(0), VertexId(3)));
+        assert_eq!(e.range(1), (VertexId(3), VertexId(5)));
+        assert_eq!(e.range(2), (VertexId(5), VertexId(6)));
+        assert_eq!(e.num_partitions(), p.num_partitions());
+    }
+
+    #[test]
+    fn encode_decode_roundtrip() {
+        let (_, e) = enc();
+        for v in 0..6u32 {
+            assert_eq!(e.decode(e.encode(VertexId(v))), VertexId(v));
+        }
+    }
+
+    #[test]
+    fn encoded_ids_live_in_their_partition_range() {
+        let (p, e) = enc();
+        for v in 0..6u32 {
+            let v = VertexId(v);
+            let enc = e.encode(v);
+            assert_eq!(e.pid_of_encoded(enc), p.pid_of(v), "vertex {v}");
+            let (s, t) = e.range(p.pid_of(v));
+            assert!(enc >= s && enc < t);
+        }
+    }
+
+    #[test]
+    fn relative_order_preserved() {
+        let (_, e) = enc();
+        // Partition 0 members in original order: 0, 2, 5.
+        assert!(e.encode(VertexId(0)) < e.encode(VertexId(2)));
+        assert!(e.encode(VertexId(2)) < e.encode(VertexId(5)));
+    }
+
+    #[test]
+    fn empty_partitions_do_not_confuse_lookup() {
+        // 1 vertex in partition 0 of 3; partitions 1 and 2 empty -> starts
+        // contain duplicates and the lookup must stay leftmost-correct.
+        let p = Partitioning::new(vec![0], 3);
+        let e = VertexEncoding::new(&p);
+        assert_eq!(e.pid_of_encoded(VertexId(0)), 0);
+        // Empty partition in the middle.
+        let p = Partitioning::new(vec![0, 0, 2, 2, 2], 3);
+        let e = VertexEncoding::new(&p);
+        for v in 0..5u32 {
+            assert_eq!(e.pid_of_encoded(e.encode(VertexId(v))), p.pid_of(VertexId(v)));
+        }
+    }
+
+    #[test]
+    fn pid_lookup_at_boundaries() {
+        let (_, e) = enc();
+        assert_eq!(e.pid_of_encoded(VertexId(0)), 0);
+        assert_eq!(e.pid_of_encoded(VertexId(2)), 0);
+        assert_eq!(e.pid_of_encoded(VertexId(3)), 1);
+        assert_eq!(e.pid_of_encoded(VertexId(5)), 2);
+    }
+}

@@ -1,0 +1,75 @@
+//! Structure-oblivious partitioners: random (the Table 5 sanity baseline)
+//! and hash (what MapReduce's shuffle effectively does).
+
+use crate::assignment::Partitioning;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Assign each vertex to a uniformly random partition.
+pub fn random_partition(num_vertices: u32, num_partitions: u32, seed: u64) -> Partitioning {
+    assert!(num_partitions >= 1);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let pids = (0..num_vertices).map(|_| rng.gen_range(0..num_partitions)).collect();
+    Partitioning::new(pids, num_partitions)
+}
+
+/// Assign vertex `v` to partition `hash(v) % P` — deterministic, balanced,
+/// and completely structure-oblivious (MapReduce's data shuffling, §3.1).
+pub fn hash_partition(num_vertices: u32, num_partitions: u32) -> Partitioning {
+    assert!(num_partitions >= 1);
+    let pids = (0..num_vertices).map(|v| fxhash(v) % num_partitions).collect();
+    Partitioning::new(pids, num_partitions)
+}
+
+/// A small deterministic integer hash (Fibonacci multiplier + xorshift).
+#[inline]
+pub fn fxhash(v: u32) -> u32 {
+    let mut x = v.wrapping_mul(0x9E37_79B9);
+    x ^= x >> 16;
+    x = x.wrapping_mul(0x85EB_CA6B);
+    x ^= x >> 13;
+    x
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::assignment::quality;
+    use surfer_graph::generators::social::{stitched_small_worlds, SocialGraphConfig};
+
+    #[test]
+    fn random_ier_matches_one_over_p() {
+        let g = stitched_small_worlds(&SocialGraphConfig::new(4, 8, 2));
+        for p in [4u32, 8, 16] {
+            let part = random_partition(g.num_vertices(), p, 7);
+            let q = quality(&g, &part);
+            let expected = 1.0 / p as f64;
+            assert!(
+                (q.inner_edge_ratio - expected).abs() < 0.05,
+                "P={p}: ier {} vs expected {expected}",
+                q.inner_edge_ratio
+            );
+        }
+    }
+
+    #[test]
+    fn hash_partition_is_balanced() {
+        let p = hash_partition(10_000, 16);
+        let sizes = p.sizes();
+        let mean = 10_000.0 / 16.0;
+        for s in sizes {
+            assert!((s as f64 - mean).abs() < mean * 0.2, "size {s} vs mean {mean}");
+        }
+    }
+
+    #[test]
+    fn hash_partition_deterministic() {
+        assert_eq!(hash_partition(100, 4), hash_partition(100, 4));
+    }
+
+    #[test]
+    fn random_partition_seed_sensitivity() {
+        assert_ne!(random_partition(1000, 4, 1), random_partition(1000, 4, 2));
+        assert_eq!(random_partition(1000, 4, 1), random_partition(1000, 4, 1));
+    }
+}

@@ -1,0 +1,257 @@
+//! Fiduccia–Mattheyses boundary refinement.
+//!
+//! App. A.2: *"In the uncoarsening phase, the partitions are iteratively
+//! projected back towards the original graph, with a local refinement on
+//! each iteration. Local refinement can significantly improve the partition
+//! quality."*
+//!
+//! This is the classic FM scheme: each pass repeatedly moves the
+//! highest-gain unlocked boundary vertex to the other side (subject to a
+//! balance bound), locks it, updates neighbor gains, and finally rewinds to
+//! the best prefix of the move sequence. Passes repeat until one yields no
+//! improvement.
+
+use crate::wgraph::WGraph;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+/// Balance bound: neither side may exceed this fraction of the total vertex
+/// weight (0.55 allows the ~10 % slack heavy-tailed degree distributions
+/// need while keeping partitions "with similar number of edges").
+pub const DEFAULT_MAX_SIDE_FRACTION: f64 = 0.55;
+
+/// Refine `side` in place; returns the final cut weight.
+pub fn fm_refine(g: &WGraph, side: &mut [bool], max_passes: u32) -> u64 {
+    fm_refine_bounded(g, side, max_passes, DEFAULT_MAX_SIDE_FRACTION)
+}
+
+/// [`fm_refine`] with an explicit balance bound.
+pub fn fm_refine_bounded(
+    g: &WGraph,
+    side: &mut [bool],
+    max_passes: u32,
+    max_side_fraction: f64,
+) -> u64 {
+    assert!(
+        (0.5..=1.0).contains(&max_side_fraction),
+        "max_side_fraction must be in [0.5, 1], got {max_side_fraction}"
+    );
+    let total = g.total_vwgt();
+    let max_side = (total as f64 * max_side_fraction) as u64;
+    let mut cut = g.cut_weight(side);
+    for _ in 0..max_passes {
+        let improved = fm_pass(g, side, &mut cut, max_side);
+        if !improved {
+            break;
+        }
+    }
+    cut
+}
+
+/// One FM pass. Returns true when the cut improved.
+///
+/// Classic two-heap scheme: one gain heap per side, so a balance-blocked
+/// direction never starves the other — the pass can walk through
+/// cut-neutral move sequences and rewind to the best prefix.
+fn fm_pass(g: &WGraph, side: &mut [bool], cut: &mut u64, max_side: u64) -> bool {
+    let n = g.num_vertices();
+    let mut weight_true = g.side_weight(side);
+    let total = g.total_vwgt();
+
+    // gain[v]: cut reduction if v switches sides = external - internal weight.
+    let mut gain = vec![0i64; n];
+    let mut locked = vec![false; n];
+    // heaps[1]: movable vertices currently on the `true` side; heaps[0]: `false` side.
+    let mut heaps: [BinaryHeap<(i64, Reverse<usize>)>; 2] =
+        [BinaryHeap::new(), BinaryHeap::new()];
+    for v in 0..n {
+        let (mut ext, mut int) = (0i64, 0i64);
+        for &(u, w) in &g.adj[v] {
+            if side[u as usize] != side[v] {
+                ext += w as i64;
+            } else {
+                int += w as i64;
+            }
+        }
+        gain[v] = ext - int;
+        if ext > 0 {
+            // boundary vertex
+            heaps[side[v] as usize].push((gain[v], Reverse(v)));
+        }
+    }
+
+    // Move sequence with best-prefix tracking. A prefix is preferred first
+    // by balance feasibility, then by cut — so a pass that starts from an
+    // imbalanced projection repairs balance even at a cut cost.
+    let feasible_now = |wt: u64| wt.max(total - wt) <= max_side;
+    let start_cut = *cut;
+    let start_feasible = feasible_now(weight_true);
+    let mut best_cut = *cut;
+    let mut best_feasible = start_feasible;
+    let mut best_len = 0usize;
+    let mut moves: Vec<usize> = Vec::new();
+
+    loop {
+        // Peek the best valid candidate on each side (discarding stale and
+        // locked entries).
+        let peek = |from_true: bool, heaps: &mut [BinaryHeap<(i64, Reverse<usize>)>; 2],
+                        gain: &[i64], locked: &[bool], side: &[bool]|
+         -> Option<(i64, usize)> {
+            let h = &mut heaps[from_true as usize];
+            while let Some(&(gval, Reverse(v))) = h.peek() {
+                if locked[v] || gain[v] != gval || side[v] != from_true {
+                    h.pop();
+                    continue;
+                }
+                return Some((gval, v));
+            }
+            None
+        };
+        let cand_true = peek(true, &mut heaps, &gain, &locked, side);
+        let cand_false = peek(false, &mut heaps, &gain, &locked, side);
+
+        // Balance per direction: a move is allowed when it lands within the
+        // bound OR strictly reduces an existing violation (repair mode).
+        let feasible = |from_true: bool, v: usize| -> bool {
+            let w = g.vwgt[v];
+            let new_true = if from_true { weight_true - w } else { weight_true + w };
+            let new_false = total - new_true;
+            let new_max = new_true.max(new_false);
+            new_max <= max_side || new_max < weight_true.max(total - weight_true)
+        };
+        let ok_true = cand_true.filter(|&(_, v)| feasible(true, v));
+        let ok_false = cand_false.filter(|&(_, v)| feasible(false, v));
+
+        // Pick the higher gain; tie-break toward draining the heavier side.
+        let pick = match (ok_true, ok_false) {
+            (None, None) => break,
+            (Some(t), None) => (true, t),
+            (None, Some(f)) => (false, f),
+            (Some(t), Some(f)) => {
+                let heavier_true = weight_true * 2 >= total;
+                if t.0 > f.0 || (t.0 == f.0 && heavier_true) {
+                    (true, t)
+                } else {
+                    (false, f)
+                }
+            }
+        };
+        let (from_true, (gval, v)) = pick;
+        heaps[from_true as usize].pop(); // consume the peeked entry
+        debug_assert_eq!(gain[v], gval);
+
+        // Move v.
+        let w = g.vwgt[v];
+        weight_true = if from_true { weight_true - w } else { weight_true + w };
+        side[v] = !side[v];
+        *cut = (*cut as i64 - gain[v]) as u64;
+        locked[v] = true;
+        moves.push(v);
+        let now_feasible = feasible_now(weight_true);
+        let better = match (now_feasible, best_feasible) {
+            (true, false) => true,
+            (false, true) => false,
+            _ => *cut < best_cut,
+        };
+        if better {
+            best_cut = *cut;
+            best_feasible = now_feasible;
+            best_len = moves.len();
+        }
+        // Update neighbor gains: u now on v's side loses 2w of gain; u on
+        // the other side gains 2w.
+        for &(u, w) in &g.adj[v] {
+            let u = u as usize;
+            if locked[u] {
+                continue;
+            }
+            if side[u] == side[v] {
+                gain[u] -= 2 * w as i64;
+            } else {
+                gain[u] += 2 * w as i64;
+            }
+            heaps[side[u] as usize].push((gain[u], Reverse(u)));
+        }
+    }
+
+    // Rewind to the best prefix.
+    for &v in moves.iter().skip(best_len).rev() {
+        side[v] = !side[v];
+    }
+    *cut = best_cut;
+    best_cut < start_cut || (best_feasible && !start_feasible)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use surfer_graph::builder::from_edges;
+    use surfer_graph::generators::deterministic::grid;
+
+    #[test]
+    fn repairs_a_bad_grid_split() {
+        // 4x4 grid split into alternating row stripes (cut = all 12 vertical
+        // undirected edges x weight 2 = 24); FM should approach the optimal
+        // straight-line cut (4 undirected edges x weight 2 = 8).
+        let g = WGraph::from_csr(&grid(4, 4));
+        let mut side: Vec<bool> = (0..16).map(|v| (v / 4) % 2 == 0).collect();
+        let before = g.cut_weight(&side);
+        assert_eq!(before, 24);
+        // A roomy balance bound lets single-level FM walk out of the stripe
+        // pattern (the multilevel pipeline normally provides this freedom by
+        // moving coarse clusters instead).
+        let after = fm_refine_bounded(&g, &mut side, 8, 0.75);
+        assert!(after < before, "no improvement: {before} -> {after}");
+        assert!(after <= 16, "cut still bad: {after}");
+        assert_eq!(after, g.cut_weight(&side), "returned cut out of sync");
+    }
+
+    #[test]
+    fn tight_balance_never_worsens() {
+        let g = WGraph::from_csr(&grid(4, 4));
+        let mut side: Vec<bool> = (0..16).map(|v| (v / 4) % 2 == 0).collect();
+        let before = g.cut_weight(&side);
+        let after = fm_refine(&g, &mut side, 8);
+        assert!(after <= before, "worsened: {before} -> {after}");
+        assert_eq!(after, g.cut_weight(&side));
+    }
+
+    #[test]
+    fn respects_balance_bound() {
+        let g = WGraph::from_csr(&grid(4, 4));
+        let mut side: Vec<bool> = (0..16).map(|v| v < 8).collect();
+        fm_refine_bounded(&g, &mut side, 8, 0.55);
+        let w = g.side_weight(&side) as f64;
+        let total = g.total_vwgt() as f64;
+        assert!(w / total <= 0.56 && w / total >= 0.44, "imbalanced: {}", w / total);
+    }
+
+    #[test]
+    fn optimal_split_is_stable() {
+        // Two triangles and a bridge, already optimally split.
+        let g = WGraph::from_csr(&from_edges(
+            6,
+            [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (2, 3)],
+        ));
+        let mut side = vec![false, false, false, true, true, true];
+        let cut = fm_refine(&g, &mut side, 4);
+        assert_eq!(cut, 1);
+        assert_eq!(side, vec![false, false, false, true, true, true]);
+    }
+
+    #[test]
+    fn empty_boundary_is_noop() {
+        // Disconnected halves: no boundary vertices, nothing to do.
+        let g = WGraph::from_csr(&from_edges(4, [(0, 1), (2, 3)]));
+        let mut side = vec![false, false, true, true];
+        assert_eq!(fm_refine(&g, &mut side, 4), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "max_side_fraction")]
+    fn rejects_bad_fraction() {
+        let g = WGraph::from_csr(&grid(2, 2));
+        let mut side = vec![false; 4];
+        fm_refine_bounded(&g, &mut side, 1, 0.3);
+    }
+}

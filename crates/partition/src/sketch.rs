@@ -1,0 +1,227 @@
+//! The partition sketch (§4.1).
+//!
+//! The paper models multilevel partitioning as a balanced binary tree: the
+//! root is the input graph, each internal node is a bisection, and the
+//! leaves are the final partitions. The ideal sketch has three properties —
+//! *local optimality*, *monotonicity* and *proximity* — which drive the
+//! three design principles P1–P3 for bandwidth-aware storage. This module
+//! records the sketch produced by recursive bisection and exposes the
+//! quantities those properties talk about.
+
+use serde::{Deserialize, Serialize};
+
+/// Index of a node in a [`PartitionSketch`].
+pub type SketchNodeId = usize;
+
+/// One node of the partition sketch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SketchNode {
+    /// Depth in the tree; the root is level 0 (matching the paper, where a
+    /// sketch for P partitions has `log2(P) + 1` levels).
+    pub level: u32,
+    /// Parent node, `None` for the root.
+    pub parent: Option<SketchNodeId>,
+    /// Children produced by this node's bisection (`None` for leaves).
+    pub children: Option<(SketchNodeId, SketchNodeId)>,
+    /// The partition id, for leaves.
+    pub pid: Option<u32>,
+    /// Weight of the cut between the two children (0 for leaves). In the
+    /// symmetrized weighted view, a pair of antiparallel directed edges
+    /// contributes 2.
+    pub cut_weight: u64,
+    /// Number of vertices in this node's subgraph.
+    pub vertex_count: u32,
+}
+
+/// The binary tree recording a recursive bisection run.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct PartitionSketch {
+    nodes: Vec<SketchNode>,
+}
+
+impl PartitionSketch {
+    /// An empty sketch (populated by the partitioner).
+    pub fn new() -> Self {
+        PartitionSketch::default()
+    }
+
+    /// Append a node, returning its id. The root must be pushed first.
+    pub fn push(&mut self, node: SketchNode) -> SketchNodeId {
+        if let Some(p) = node.parent {
+            assert!(p < self.nodes.len(), "parent {p} not yet pushed");
+            assert_eq!(self.nodes[p].level + 1, node.level, "level must be parent + 1");
+        } else {
+            assert!(self.nodes.is_empty(), "only the first node may be the root");
+            assert_eq!(node.level, 0, "root is level 0");
+        }
+        self.nodes.push(node);
+        self.nodes.len() - 1
+    }
+
+    /// Record the children of `parent` after its bisection.
+    pub fn set_children(&mut self, parent: SketchNodeId, left: SketchNodeId, right: SketchNodeId) {
+        self.nodes[parent].children = Some((left, right));
+    }
+
+    /// All nodes.
+    pub fn nodes(&self) -> &[SketchNode] {
+        &self.nodes
+    }
+
+    /// Node by id.
+    pub fn node(&self, id: SketchNodeId) -> &SketchNode {
+        &self.nodes[id]
+    }
+
+    /// The root node id (0), if any node exists.
+    pub fn root(&self) -> Option<SketchNodeId> {
+        (!self.nodes.is_empty()).then_some(0)
+    }
+
+    /// Leaf node ids in pid order.
+    pub fn leaves(&self) -> Vec<SketchNodeId> {
+        let mut l: Vec<SketchNodeId> =
+            (0..self.nodes.len()).filter(|&i| self.nodes[i].pid.is_some()).collect();
+        l.sort_by_key(|&i| self.nodes[i].pid);
+        l
+    }
+
+    /// Number of levels (`log2 P + 1` for a complete sketch of P leaves).
+    pub fn num_levels(&self) -> u32 {
+        self.nodes.iter().map(|n| n.level + 1).max().unwrap_or(0)
+    }
+
+    /// The paper's `T_l`: total cross-partition weight among the partitions
+    /// existing at level `l` — the sum of the cuts of all bisections strictly
+    /// above level `l`.
+    pub fn total_cut_at_level(&self, l: u32) -> u64 {
+        self.nodes.iter().filter(|n| n.level < l).map(|n| n.cut_weight).sum()
+    }
+
+    /// Monotonicity (§4.1): `T_i <= T_j` whenever `i <= j`. Holds by
+    /// construction for any sketch with non-negative cuts; exposed so tests
+    /// and benchmarks can assert it on real runs.
+    pub fn is_monotone(&self) -> bool {
+        (1..self.num_levels()).all(|l| self.total_cut_at_level(l - 1) <= self.total_cut_at_level(l))
+    }
+
+    /// The deepest common ancestor level of two leaves — proximity (§4.1)
+    /// says leaves with a *lower* (deeper) common ancestor share more
+    /// cross-partition edges and should be stored close together.
+    pub fn common_ancestor_level(&self, a: SketchNodeId, b: SketchNodeId) -> u32 {
+        let (mut x, mut y) = (a, b);
+        while self.nodes[x].level > self.nodes[y].level {
+            x = self.nodes[x].parent.expect("deeper node has parent");
+        }
+        while self.nodes[y].level > self.nodes[x].level {
+            y = self.nodes[y].parent.expect("deeper node has parent");
+        }
+        while x != y {
+            x = self.nodes[x].parent.expect("non-root");
+            y = self.nodes[y].parent.expect("non-root");
+        }
+        self.nodes[x].level
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Build the example sketch from Figure 2: root bisected into two,
+    /// each bisected into two leaves (P = 4).
+    fn fig2() -> PartitionSketch {
+        let mut s = PartitionSketch::new();
+        let root = s.push(SketchNode {
+            level: 0,
+            parent: None,
+            children: None,
+            pid: None,
+            cut_weight: 10,
+            vertex_count: 100,
+        });
+        let l = s.push(SketchNode {
+            level: 1,
+            parent: Some(root),
+            children: None,
+            pid: None,
+            cut_weight: 4,
+            vertex_count: 50,
+        });
+        let r = s.push(SketchNode {
+            level: 1,
+            parent: Some(root),
+            children: None,
+            pid: None,
+            cut_weight: 6,
+            vertex_count: 50,
+        });
+        s.set_children(root, l, r);
+        let mut pid = 0;
+        for &p in &[l, r] {
+            let a = s.push(SketchNode {
+                level: 2,
+                parent: Some(p),
+                children: None,
+                pid: Some(pid),
+                cut_weight: 0,
+                vertex_count: 25,
+            });
+            pid += 1;
+            let b = s.push(SketchNode {
+                level: 2,
+                parent: Some(p),
+                children: None,
+                pid: Some(pid),
+                cut_weight: 0,
+                vertex_count: 25,
+            });
+            pid += 1;
+            s.set_children(p, a, b);
+        }
+        s
+    }
+
+    #[test]
+    fn levels_and_leaves() {
+        let s = fig2();
+        assert_eq!(s.num_levels(), 3); // log2(4) + 1
+        let leaves = s.leaves();
+        assert_eq!(leaves.len(), 4);
+        assert_eq!(s.node(leaves[0]).pid, Some(0));
+        assert_eq!(s.node(leaves[3]).pid, Some(3));
+    }
+
+    #[test]
+    fn cut_accumulates_down_levels() {
+        let s = fig2();
+        assert_eq!(s.total_cut_at_level(0), 0);
+        assert_eq!(s.total_cut_at_level(1), 10);
+        assert_eq!(s.total_cut_at_level(2), 20);
+        assert!(s.is_monotone());
+    }
+
+    #[test]
+    fn common_ancestors() {
+        let s = fig2();
+        let leaves = s.leaves();
+        // Siblings share a level-1 ancestor; cousins only the root.
+        assert_eq!(s.common_ancestor_level(leaves[0], leaves[1]), 1);
+        assert_eq!(s.common_ancestor_level(leaves[0], leaves[2]), 0);
+        assert_eq!(s.common_ancestor_level(leaves[2], leaves[2]), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "root is level 0")]
+    fn root_must_be_level_zero() {
+        let mut s = PartitionSketch::new();
+        s.push(SketchNode {
+            level: 1,
+            parent: None,
+            children: None,
+            pid: None,
+            cut_weight: 0,
+            vertex_count: 1,
+        });
+    }
+}

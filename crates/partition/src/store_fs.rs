@@ -1,0 +1,205 @@
+//! On-disk layout for a partitioned graph.
+//!
+//! Surfer stores each partition as an adjacency-list file on its slave
+//! machines (§3). This module provides the single-machine stand-in for that
+//! storage: a directory with a text manifest and one `<ID, d, neighbors>`
+//! blob per partition, round-trippable back into a [`PartitionedGraph`].
+//!
+//! ```text
+//! <dir>/manifest.txt      partitions, vertex counts, placement
+//! <dir>/part-<pid>.adj    concatenated adjacency records of the members
+//! ```
+
+use crate::assignment::Partitioning;
+use crate::partitioned::PartitionedGraph;
+use std::io::Write;
+use std::path::Path;
+use std::sync::Arc;
+use surfer_cluster::MachineId;
+use surfer_graph::adjacency::{AdjacencyRecord, RecordReader};
+use surfer_graph::{GraphBuilder, GraphError, Result};
+use bytes::BytesMut;
+
+/// Manifest of a stored partitioned graph.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Manifest {
+    /// Total vertices in the graph.
+    pub num_vertices: u32,
+    /// One entry per partition: `(machine, member count)`.
+    pub partitions: Vec<(MachineId, u32)>,
+}
+
+/// Write `pg` into `dir` (created if missing).
+pub fn write_partitioned(dir: impl AsRef<Path>, pg: &PartitionedGraph) -> Result<Manifest> {
+    let dir = dir.as_ref();
+    std::fs::create_dir_all(dir)?;
+    let g = pg.graph();
+    let mut manifest = Manifest { num_vertices: g.num_vertices(), partitions: Vec::new() };
+    for pid in pg.partitions() {
+        let meta = pg.meta(pid);
+        let mut buf = BytesMut::with_capacity(meta.bytes as usize);
+        for &v in &meta.members {
+            AdjacencyRecord { id: v, neighbors: g.neighbors(v).to_vec() }.encode(&mut buf);
+        }
+        std::fs::write(dir.join(format!("part-{pid}.adj")), &buf)?;
+        manifest.partitions.push((pg.machine_of(pid), meta.members.len() as u32));
+    }
+    let mut f = std::fs::File::create(dir.join("manifest.txt"))?;
+    writeln!(f, "surfer-partitions v1")?;
+    writeln!(f, "vertices {}", manifest.num_vertices)?;
+    writeln!(f, "partitions {}", manifest.partitions.len())?;
+    for (pid, (m, count)) in manifest.partitions.iter().enumerate() {
+        writeln!(f, "{pid} {} {count}", m.0)?;
+    }
+    Ok(manifest)
+}
+
+/// Read the manifest from `dir`.
+pub fn read_manifest(dir: impl AsRef<Path>) -> Result<Manifest> {
+    let text = std::fs::read_to_string(dir.as_ref().join("manifest.txt"))?;
+    let mut lines = text.lines();
+    let corrupt = |msg: &str| GraphError::Corrupt(format!("manifest: {msg}"));
+    if lines.next() != Some("surfer-partitions v1") {
+        return Err(corrupt("bad header"));
+    }
+    let field = |line: Option<&str>, key: &str| -> Result<u32> {
+        let line = line.ok_or_else(|| corrupt("truncated"))?;
+        let rest = line
+            .strip_prefix(key)
+            .ok_or_else(|| corrupt(&format!("expected '{key}'")))?;
+        rest.trim().parse().map_err(|_| corrupt(&format!("bad number in '{line}'")))
+    };
+    let num_vertices = field(lines.next(), "vertices ")?;
+    let count = field(lines.next(), "partitions ")?;
+    let mut partitions = Vec::with_capacity(count as usize);
+    for pid in 0..count {
+        let line = lines.next().ok_or_else(|| corrupt("missing partition row"))?;
+        let mut it = line.split_whitespace();
+        let id: u32 =
+            it.next().and_then(|t| t.parse().ok()).ok_or_else(|| corrupt("bad row"))?;
+        if id != pid {
+            return Err(corrupt(&format!("row {pid} has id {id}")));
+        }
+        let machine: u16 =
+            it.next().and_then(|t| t.parse().ok()).ok_or_else(|| corrupt("bad machine"))?;
+        let members: u32 =
+            it.next().and_then(|t| t.parse().ok()).ok_or_else(|| corrupt("bad count"))?;
+        partitions.push((MachineId(machine), members));
+    }
+    Ok(Manifest { num_vertices, partitions })
+}
+
+/// Read one partition's raw records.
+pub fn read_partition(dir: impl AsRef<Path>, pid: u32) -> Result<Vec<AdjacencyRecord>> {
+    let blob = std::fs::read(dir.as_ref().join(format!("part-{pid}.adj")))?;
+    RecordReader::new(&blob).collect()
+}
+
+/// Load a full [`PartitionedGraph`] back from `dir`.
+pub fn load_partitioned(dir: impl AsRef<Path>) -> Result<PartitionedGraph> {
+    let dir = dir.as_ref();
+    let manifest = read_manifest(dir)?;
+    let p = manifest.partitions.len() as u32;
+    let mut pids = vec![u32::MAX; manifest.num_vertices as usize];
+    let mut b = GraphBuilder::new(manifest.num_vertices);
+    for pid in 0..p {
+        for rec in read_partition(dir, pid)? {
+            if rec.id.0 >= manifest.num_vertices {
+                return Err(GraphError::VertexOutOfRange {
+                    vertex: rec.id.0 as u64,
+                    num_vertices: manifest.num_vertices as u64,
+                });
+            }
+            if pids[rec.id.index()] != u32::MAX {
+                return Err(GraphError::Corrupt(format!(
+                    "vertex {} appears in two partitions",
+                    rec.id
+                )));
+            }
+            pids[rec.id.index()] = pid;
+            for n in rec.neighbors {
+                b.add_edge(surfer_graph::Edge::new(rec.id, n));
+            }
+        }
+    }
+    if let Some(missing) = pids.iter().position(|&p| p == u32::MAX) {
+        return Err(GraphError::Corrupt(format!("vertex {missing} is in no partition")));
+    }
+    let graph = b.try_build()?;
+    let partitioning = Partitioning::new(pids, p);
+    let placement = manifest.partitions.iter().map(|&(m, _)| m).collect();
+    Ok(PartitionedGraph::from_parts(Arc::new(graph), partitioning, placement))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bandwidth_aware::bandwidth_aware_partition;
+    use crate::bisect::BisectConfig;
+    use surfer_cluster::Topology;
+    use surfer_graph::generators::social::{stitched_small_worlds, SocialGraphConfig};
+
+    fn tmp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("surfer-store-fs").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn fixture() -> PartitionedGraph {
+        let g = Arc::new(stitched_small_worlds(&SocialGraphConfig::new(4, 7, 9)));
+        let t = Topology::t1(4);
+        let placed = bandwidth_aware_partition(&g, &t, 4, &BisectConfig::default());
+        PartitionedGraph::new(g, &placed)
+    }
+
+    #[test]
+    fn roundtrip_preserves_graph_partitioning_and_placement() {
+        let pg = fixture();
+        let dir = tmp("roundtrip");
+        let manifest = write_partitioned(&dir, &pg).unwrap();
+        assert_eq!(manifest.partitions.len(), 4);
+        let back = load_partitioned(&dir).unwrap();
+        assert_eq!(back.graph(), pg.graph());
+        assert_eq!(back.partitioning(), pg.partitioning());
+        assert_eq!(back.placement(), pg.placement());
+    }
+
+    #[test]
+    fn manifest_roundtrip() {
+        let pg = fixture();
+        let dir = tmp("manifest");
+        let written = write_partitioned(&dir, &pg).unwrap();
+        assert_eq!(read_manifest(&dir).unwrap(), written);
+    }
+
+    #[test]
+    fn partition_files_contain_only_members(){
+        let pg = fixture();
+        let dir = tmp("members");
+        write_partitioned(&dir, &pg).unwrap();
+        for pid in pg.partitions() {
+            let recs = read_partition(&dir, pid).unwrap();
+            assert_eq!(recs.len(), pg.meta(pid).members.len());
+            for rec in recs {
+                assert_eq!(pg.pid_of(rec.id), pid);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupt_manifest_is_rejected() {
+        let dir = tmp("corrupt");
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("manifest.txt"), "not a manifest").unwrap();
+        assert!(read_manifest(&dir).is_err());
+    }
+
+    #[test]
+    fn missing_partition_file_is_io_error() {
+        let pg = fixture();
+        let dir = tmp("missing");
+        write_partitioned(&dir, &pg).unwrap();
+        std::fs::remove_file(dir.join("part-2.adj")).unwrap();
+        assert!(load_partitioned(&dir).is_err());
+    }
+}

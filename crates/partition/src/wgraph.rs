@@ -1,0 +1,258 @@
+//! Weighted working graph for the multilevel bisection pipeline.
+//!
+//! Multilevel partitioning (App. A.2, Karypis & Kumar) operates on an
+//! *undirected weighted* view of the data graph: directed edges are
+//! symmetrized, parallel edges merge into one edge whose weight is the
+//! number of originals, and each coarse vertex carries the total weight of
+//! the vertices it absorbed. Vertex weight models storage size (`1 + degree`,
+//! a proxy for the `<ID, d, neighbors>` record), so balancing vertex weight
+//! balances partition byte sizes — the paper's "similar number of edges"
+//! constraint.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use std::collections::HashMap;
+use surfer_graph::CsrGraph;
+
+/// Undirected weighted graph with weighted vertices.
+#[derive(Debug, Clone)]
+pub struct WGraph {
+    /// Vertex weights.
+    pub vwgt: Vec<u64>,
+    /// Symmetric adjacency: `adj[v]` lists `(neighbor, edge weight)`.
+    pub adj: Vec<Vec<(u32, u64)>>,
+}
+
+impl WGraph {
+    /// Build the undirected weighted view of a directed graph.
+    pub fn from_csr(g: &CsrGraph) -> Self {
+        let n = g.num_vertices() as usize;
+        let mut maps: Vec<HashMap<u32, u64>> = vec![HashMap::new(); n];
+        for e in g.edges() {
+            if e.src == e.dst {
+                continue; // self-loops never cross a cut
+            }
+            *maps[e.src.index()].entry(e.dst.0).or_insert(0) += 1;
+            *maps[e.dst.index()].entry(e.src.0).or_insert(0) += 1;
+        }
+        let adj: Vec<Vec<(u32, u64)>> = maps
+            .into_iter()
+            .map(|m| {
+                let mut v: Vec<(u32, u64)> = m.into_iter().collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        let vwgt = (0..n).map(|v| 1 + g.out_degree(surfer_graph::VertexId(v as u32)) as u64).collect();
+        WGraph { vwgt, adj }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.vwgt.len()
+    }
+
+    /// Total vertex weight.
+    pub fn total_vwgt(&self) -> u64 {
+        self.vwgt.iter().sum()
+    }
+
+    /// Sum of edge weights incident to `v`.
+    pub fn degree_weight(&self, v: usize) -> u64 {
+        self.adj[v].iter().map(|&(_, w)| w).sum()
+    }
+
+    /// Total edge weight (each undirected edge counted once).
+    pub fn total_edge_weight(&self) -> u64 {
+        self.adj.iter().flatten().map(|&(_, w)| w).sum::<u64>() / 2
+    }
+
+    /// Heavy-edge matching in a seeded random vertex order: each unmatched
+    /// vertex pairs with its heaviest unmatched neighbor. Returns
+    /// `match_of[v]` (equal to `v` for unmatched vertices).
+    pub fn heavy_edge_matching(&self, seed: u64) -> Vec<u32> {
+        let n = self.num_vertices();
+        let mut order: Vec<u32> = (0..n as u32).collect();
+        order.shuffle(&mut StdRng::seed_from_u64(seed));
+        let mut match_of: Vec<u32> = (0..n as u32).collect();
+        let mut matched = vec![false; n];
+        for &v in &order {
+            if matched[v as usize] {
+                continue;
+            }
+            let heaviest = self.adj[v as usize]
+                .iter()
+                .filter(|&&(u, _)| !matched[u as usize] && u != v)
+                .max_by_key(|&&(u, w)| (w, std::cmp::Reverse(u)));
+            if let Some(&(u, _)) = heaviest {
+                matched[v as usize] = true;
+                matched[u as usize] = true;
+                match_of[v as usize] = u;
+                match_of[u as usize] = v;
+            }
+        }
+        match_of
+    }
+
+    /// Contract a matching into a coarser graph. Returns the coarse graph
+    /// and `coarse_of[v]` mapping each fine vertex to its coarse vertex.
+    pub fn contract(&self, match_of: &[u32]) -> (WGraph, Vec<u32>) {
+        let n = self.num_vertices();
+        let mut coarse_of = vec![u32::MAX; n];
+        let mut next = 0u32;
+        for v in 0..n as u32 {
+            if coarse_of[v as usize] != u32::MAX {
+                continue;
+            }
+            let m = match_of[v as usize];
+            coarse_of[v as usize] = next;
+            if m != v {
+                coarse_of[m as usize] = next;
+            }
+            next += 1;
+        }
+        let cn = next as usize;
+        let mut vwgt = vec![0u64; cn];
+        for v in 0..n {
+            vwgt[coarse_of[v] as usize] += self.vwgt[v];
+        }
+        let mut maps: Vec<HashMap<u32, u64>> = vec![HashMap::new(); cn];
+        for v in 0..n {
+            let cv = coarse_of[v];
+            for &(u, w) in &self.adj[v] {
+                let cu = coarse_of[u as usize];
+                if cu != cv {
+                    *maps[cv as usize].entry(cu).or_insert(0) += w;
+                }
+            }
+        }
+        let adj = maps
+            .into_iter()
+            .map(|m| {
+                let mut v: Vec<(u32, u64)> = m.into_iter().collect();
+                v.sort_unstable();
+                v
+            })
+            .collect();
+        (WGraph { vwgt, adj }, coarse_of)
+    }
+
+    /// The sub-WGraph induced by `ids` (local indices into this graph).
+    /// Edges to vertices outside `ids` are dropped — exactly what recursive
+    /// bisection needs, since those edges are already counted in an
+    /// ancestor's cut. Returns the subgraph and the id mapping
+    /// (`parent_ids[local] = parent index`).
+    pub fn induced(&self, ids: &[u32]) -> (WGraph, Vec<u32>) {
+        let mut local_of = HashMap::with_capacity(ids.len());
+        for (i, &v) in ids.iter().enumerate() {
+            local_of.insert(v, i as u32);
+        }
+        let vwgt = ids.iter().map(|&v| self.vwgt[v as usize]).collect();
+        let adj = ids
+            .iter()
+            .map(|&v| {
+                self.adj[v as usize]
+                    .iter()
+                    .filter_map(|&(u, w)| local_of.get(&u).map(|&lu| (lu, w)))
+                    .collect()
+            })
+            .collect();
+        (WGraph { vwgt, adj }, ids.to_vec())
+    }
+
+    /// Edge-cut weight of a bisection (`side[v]` in {false, true}).
+    pub fn cut_weight(&self, side: &[bool]) -> u64 {
+        let mut cut = 0u64;
+        for v in 0..self.num_vertices() {
+            for &(u, w) in &self.adj[v] {
+                if (u as usize) > v && side[v] != side[u as usize] {
+                    cut += w;
+                }
+            }
+        }
+        cut
+    }
+
+    /// Vertex weight on the `true` side of a bisection.
+    pub fn side_weight(&self, side: &[bool]) -> u64 {
+        side.iter().zip(&self.vwgt).filter(|&(&s, _)| s).map(|(_, &w)| w).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use surfer_graph::builder::from_edges;
+    use surfer_graph::generators::deterministic::grid;
+
+    #[test]
+    fn symmetrizes_and_merges_parallel_edges() {
+        // 0->1 and 1->0 merge into one undirected edge of weight 2.
+        let g = from_edges(2, [(0, 1), (1, 0)]);
+        let w = WGraph::from_csr(&g);
+        assert_eq!(w.adj[0], vec![(1, 2)]);
+        assert_eq!(w.adj[1], vec![(0, 2)]);
+        assert_eq!(w.total_edge_weight(), 2);
+    }
+
+    #[test]
+    fn vertex_weight_models_record_size() {
+        let g = from_edges(3, [(0, 1), (0, 2)]);
+        let w = WGraph::from_csr(&g);
+        assert_eq!(w.vwgt, vec![3, 1, 1]); // 1 + out-degree
+        assert_eq!(w.total_vwgt(), 5);
+    }
+
+    #[test]
+    fn self_loops_ignored() {
+        let g = from_edges(2, [(0, 0), (0, 1)]);
+        let w = WGraph::from_csr(&g);
+        assert_eq!(w.adj[0], vec![(1, 1)]);
+    }
+
+    #[test]
+    fn matching_pairs_are_symmetric() {
+        let w = WGraph::from_csr(&grid(4, 4));
+        let m = w.heavy_edge_matching(1);
+        for v in 0..16 {
+            let u = m[v] as usize;
+            assert_eq!(m[u], v as u32, "matching not symmetric at {v}");
+        }
+        // A connected grid should match most vertices.
+        let matched = (0..16).filter(|&v| m[v] != v as u32).count();
+        assert!(matched >= 12, "only {matched} matched");
+    }
+
+    #[test]
+    fn contraction_preserves_total_weights() {
+        let w = WGraph::from_csr(&grid(4, 4));
+        let m = w.heavy_edge_matching(2);
+        let (c, coarse_of) = w.contract(&m);
+        assert_eq!(c.total_vwgt(), w.total_vwgt());
+        assert!(c.num_vertices() < w.num_vertices());
+        assert_eq!(coarse_of.len(), 16);
+        // Every coarse id valid.
+        assert!(coarse_of.iter().all(|&c_id| (c_id as usize) < c.num_vertices()));
+    }
+
+    #[test]
+    fn contraction_cut_matches_fine_cut_for_projected_bisection() {
+        let w = WGraph::from_csr(&grid(2, 4));
+        let m = w.heavy_edge_matching(3);
+        let (c, coarse_of) = w.contract(&m);
+        // Any coarse bisection, projected to fine, must have the same cut.
+        let coarse_side: Vec<bool> = (0..c.num_vertices()).map(|v| v % 2 == 0).collect();
+        let fine_side: Vec<bool> = coarse_of.iter().map(|&cv| coarse_side[cv as usize]).collect();
+        assert_eq!(c.cut_weight(&coarse_side), w.cut_weight(&fine_side));
+    }
+
+    #[test]
+    fn cut_and_side_weight() {
+        let g = from_edges(4, [(0, 1), (1, 2), (2, 3)]);
+        let w = WGraph::from_csr(&g);
+        let side = vec![false, false, true, true];
+        assert_eq!(w.cut_weight(&side), 1);
+        assert_eq!(w.side_weight(&side), w.vwgt[2] + w.vwgt[3]);
+    }
+}

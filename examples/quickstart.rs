@@ -1,0 +1,52 @@
+//! Quickstart: load a social graph onto a simulated cloud cluster,
+//! partition it bandwidth-aware, and rank the network with PageRank.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use surfer::prelude::*;
+
+fn main() {
+    // 1. A social graph — here the MSN-like synthetic stand-in (~8K users).
+    let graph = msn_like(MsnScale::Tiny, 42);
+    println!(
+        "graph: {} vertices, {} edges ({:.1} MB in adjacency-list format)",
+        graph.num_vertices(),
+        graph.num_edges(),
+        graph.storage_bytes() as f64 / 1e6
+    );
+
+    // 2. A simulated cloud: 8 machines in 2 pods — cross-pod bandwidth is
+    //    1/32 of intra-pod, as in the paper's T2 topology.
+    let cluster = ClusterConfig::paper_regime(Topology::t2(2, 1, 8)).build();
+
+    // 3. Load: Surfer partitions the graph (multilevel bisection) and places
+    //    partitions bandwidth-aware (optimization level O4 = full Surfer).
+    let surfer = Surfer::builder(cluster)
+        .partitions(8)
+        .optimization(OptimizationLevel::O4)
+        .load(&graph);
+    println!(
+        "partitioned into {} parts, inner-edge ratio {:.1}%",
+        surfer.partitioned().num_partitions(),
+        surfer.partitioned().inner_edge_ratio() * 100.0
+    );
+
+    // 4. Run 5 PageRank iterations with the propagation primitive.
+    let run = surfer.run(&NetworkRanking::new(5));
+    println!(
+        "ranked {} vertices in {:.2}s simulated time ({} MB over the network)",
+        run.output.ranks.len(),
+        run.report.response_time.as_secs_f64(),
+        run.report.network_bytes / 1_000_000
+    );
+
+    // 5. The most influential accounts.
+    let mut top: Vec<(usize, f64)> = run.output.ranks.iter().copied().enumerate().collect();
+    top.sort_by(|a, b| b.1.total_cmp(&a.1));
+    println!("top 5 accounts by rank:");
+    for (v, r) in top.into_iter().take(5) {
+        println!("  v{v}: {r:.6}");
+    }
+}

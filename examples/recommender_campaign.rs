@@ -1,0 +1,48 @@
+//! A product-recommendation campaign (the paper's RS workload): seed a few
+//! users, propagate recommendations along friendships for several rounds,
+//! and watch adoption spread.
+//!
+//! ```text
+//! cargo run --release --example recommender_campaign
+//! ```
+
+use surfer::apps::recommender::RecommenderSystem;
+use surfer::core::OptimizationLevel;
+use surfer::prelude::*;
+
+fn main() {
+    let graph = msn_like(MsnScale::Tiny, 23);
+    let cluster = ClusterConfig::paper_regime(Topology::t1(8)).build();
+    let surfer = Surfer::builder(cluster)
+        .partitions(8)
+        .optimization(OptimizationLevel::O4)
+        .load(&graph);
+
+    println!("campaign over {} users; 1% seeded, 30% acceptance\n", graph.num_vertices());
+    println!("{:>6} {:>9} {:>10} {:>12}", "rounds", "adopters", "adoption%", "network(MB)");
+    for rounds in 0..=5 {
+        let mut campaign = RecommenderSystem::new(rounds, 777);
+        campaign.accept_probability = 0.3;
+        let run = surfer.run(&campaign);
+        println!(
+            "{rounds:>6} {:>9} {:>9.1}% {:>12.2}",
+            run.output.count(),
+            run.output.count() as f64 / graph.num_vertices() as f64 * 100.0,
+            run.report.network_bytes as f64 / 1e6,
+        );
+    }
+
+    // How much does the acceptance probability matter?
+    println!("\nacceptance sweep at 5 rounds:");
+    for p in [0.1, 0.3, 0.5, 0.9] {
+        let mut campaign = RecommenderSystem::new(5, 777);
+        campaign.accept_probability = p;
+        let run = surfer.run(&campaign);
+        println!(
+            "  p = {:.1}: {} adopters ({:.1}%)",
+            p,
+            run.output.count(),
+            run.output.count() as f64 / graph.num_vertices() as f64 * 100.0
+        );
+    }
+}

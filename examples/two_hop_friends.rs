@@ -1,0 +1,63 @@
+//! Friend-of-friend suggestions: the TFL workload that motivates the paper's
+//! introduction ("compute the two-hop friend list for each account in the
+//! MSN social network") — the task whose MapReduce implementation drowns in
+//! shuffle traffic and whose propagation implementation doesn't.
+//!
+//! ```text
+//! cargo run --release --example two_hop_friends
+//! ```
+
+use surfer::core::OptimizationLevel;
+use surfer::prelude::*;
+
+fn main() {
+    let graph = msn_like(MsnScale::Tiny, 11);
+    let cluster = ClusterConfig::paper_regime(Topology::t2(2, 1, 8)).build();
+    let surfer = Surfer::builder(cluster)
+        .partitions(8)
+        .optimization(OptimizationLevel::O4)
+        .load(&graph);
+
+    // 10% of accounts push their friend lists (the paper's selection ratio).
+    let app = TwoHopFriends::new(99);
+    let prop = surfer.run(&app);
+    let mr = surfer.run_mapreduce(&app);
+
+    println!(
+        "two-hop lists for {} accounts ({} candidate pairs total)",
+        prop.output.lists.iter().filter(|l| !l.is_empty()).count(),
+        prop.output.total_pairs()
+    );
+    println!(
+        "network traffic — propagation: {:.1} MB, MapReduce: {:.1} MB ({:.0}% saved)",
+        prop.report.network_bytes as f64 / 1e6,
+        mr.report.network_bytes as f64 / 1e6,
+        (1.0 - prop.report.network_bytes as f64 / mr.report.network_bytes as f64) * 100.0
+    );
+    println!(
+        "response time — propagation: {:.2}s, MapReduce: {:.2}s",
+        prop.report.response_time.as_secs_f64(),
+        mr.report.response_time.as_secs_f64()
+    );
+
+    // Suggest friends for the best-connected account that received lists.
+    let (account, suggestions) = prop
+        .output
+        .lists
+        .iter()
+        .enumerate()
+        .max_by_key(|(_, l)| l.len())
+        .expect("non-empty graph");
+    let direct: std::collections::HashSet<u32> =
+        graph.neighbors(VertexId(account as u32)).iter().map(|v| v.0).collect();
+    let new_people: Vec<u32> = suggestions
+        .iter()
+        .copied()
+        .filter(|s| !direct.contains(s) && *s != account as u32)
+        .take(10)
+        .collect();
+    println!(
+        "\naccount v{account} has {} direct friends; top two-hop suggestions: {new_people:?}",
+        direct.len()
+    );
+}

@@ -1,0 +1,128 @@
+//! End-to-end integration: generate a social graph, load it onto a
+//! simulated cloud through the public `surfer` facade, run every
+//! application on both primitives, and check the results against serial
+//! references.
+
+use surfer::apps::{
+    degree_dist::VertexDegreeDistribution, pagerank::NetworkRanking,
+    recommender::RecommenderSystem, reverse::ReverseLinkGraph, triangle::TriangleCounting,
+    two_hop::TwoHopFriends, ExactOutput,
+};
+use surfer::core::OptimizationLevel;
+use surfer::prelude::*;
+
+const SEED: u64 = 0xE2E;
+
+fn fixture() -> (CsrGraph, Surfer) {
+    let graph = msn_like(MsnScale::Tiny, SEED);
+    let cluster = ClusterConfig::tree(2, 1, 8).build();
+    let surfer = Surfer::builder(cluster)
+        .partitions(8)
+        .optimization(OptimizationLevel::O4)
+        .load(&graph);
+    (graph, surfer)
+}
+
+#[test]
+fn pagerank_matches_reference_on_both_primitives() {
+    let (g, s) = fixture();
+    let app = NetworkRanking::new(4);
+    let reference = app.reference(&g);
+    let prop = s.run(&app);
+    let mr = s.run_mapreduce(&app);
+    assert!(prop.output.approx_eq(&reference, 1e-12));
+    assert!(mr.output.approx_eq(&reference, 1e-9));
+}
+
+#[test]
+fn recommender_matches_reference() {
+    let (g, s) = fixture();
+    let app = RecommenderSystem::new(4, SEED);
+    let reference = app.reference(&g);
+    assert_eq!(s.run(&app).output, reference);
+    assert_eq!(s.run_mapreduce(&app).output, reference);
+    assert!(reference.count() > 0, "campaign should spread");
+}
+
+#[test]
+fn triangle_count_matches_reference() {
+    let (g, s) = fixture();
+    let app = TriangleCounting::new(SEED);
+    let reference = app.reference(&g);
+    assert_eq!(s.run(&app).output, reference);
+    assert_eq!(s.run_mapreduce(&app).output, reference);
+    assert!(reference.triangles > 0, "sample found no triangles");
+}
+
+#[test]
+fn degree_distribution_matches_reference() {
+    let (g, s) = fixture();
+    let reference = VertexDegreeDistribution.reference(&g);
+    assert_eq!(s.run(&VertexDegreeDistribution).output, reference);
+    assert_eq!(s.run_mapreduce(&VertexDegreeDistribution).output, reference);
+}
+
+#[test]
+fn reverse_link_graph_matches_reference() {
+    let (g, s) = fixture();
+    let reference = ReverseLinkGraph.reference(&g);
+    assert_eq!(s.run(&ReverseLinkGraph).output, reference);
+    assert_eq!(s.run_mapreduce(&ReverseLinkGraph).output, reference);
+}
+
+#[test]
+fn two_hop_lists_match_reference() {
+    let (g, s) = fixture();
+    let app = TwoHopFriends::new(SEED);
+    let reference = app.reference(&g);
+    assert_eq!(s.run(&app).output, reference);
+    assert_eq!(s.run_mapreduce(&app).output, reference);
+}
+
+#[test]
+fn results_are_invariant_to_optimization_level() {
+    // O1..O4 change placement and locality optimizations — never results.
+    let graph = msn_like(MsnScale::Tiny, SEED);
+    let app = NetworkRanking::new(3);
+    let mut outputs = Vec::new();
+    for level in OptimizationLevel::ALL {
+        let cluster = ClusterConfig::tree(2, 1, 8).build();
+        let s = Surfer::builder(cluster).partitions(8).optimization(level).load(&graph);
+        outputs.push(s.run(&app).output);
+    }
+    for o in &outputs[1..] {
+        assert!(o.approx_eq(&outputs[0], 1e-12), "optimization level changed results");
+    }
+}
+
+#[test]
+fn results_are_invariant_to_partition_count() {
+    let graph = msn_like(MsnScale::Tiny, SEED);
+    let app = NetworkRanking::new(3);
+    let reference = app.reference(&graph);
+    for p in [1u32, 2, 16] {
+        let cluster = ClusterConfig::flat(4).build();
+        let s = Surfer::builder(cluster).partitions(p).load(&graph);
+        assert!(
+            s.run(&app).output.approx_eq(&reference, 1e-12),
+            "results diverged at P = {p}"
+        );
+    }
+}
+
+#[test]
+fn auto_partitioning_respects_the_memory_formula() {
+    let graph = msn_like(MsnScale::Tiny, SEED);
+    let mem = graph.storage_bytes() / 5; // forces ceil(log2 5) -> 8 partitions
+    let cluster = ClusterConfig::flat(4).memory_bytes(mem).build();
+    let s = Surfer::builder(cluster).load(&graph);
+    assert_eq!(s.partitioned().num_partitions(), 8);
+    for pid in s.partitioned().partitions() {
+        // The formula exists to make partitions fit in memory; allow modest
+        // skew above the mean but nothing pathological.
+        assert!(
+            s.partitioned().meta(pid).bytes < 2 * mem,
+            "partition {pid} badly oversized"
+        );
+    }
+}

@@ -1,0 +1,142 @@
+//! Property-based integration tests over the whole stack: random graphs and
+//! random configurations must preserve the core invariants — codecs
+//! round-trip, partitionings are total and disjoint, the contiguous
+//! encoding is a bijection, engines agree with serial references, and the
+//! simulator is deterministic.
+
+use proptest::prelude::*;
+use std::sync::Arc;
+use surfer::apps::pagerank::NetworkRanking;
+use surfer::apps::ExactOutput;
+use surfer::cluster::{ClusterConfig, MachineId};
+use surfer::core::{EngineOptions, PropagationEngine, Surfer, SurferApp};
+use surfer::graph::{adjacency, builder::from_edges, CsrGraph, GraphBuilder, VertexId};
+use surfer::partition::{
+    quality, random_partition, Partitioning, PartitionedGraph, RecursivePartitioner,
+    VertexEncoding,
+};
+
+/// Strategy: a random directed graph with 2..=40 vertices.
+fn arb_graph() -> impl Strategy<Value = CsrGraph> {
+    (2u32..40).prop_flat_map(|n| {
+        proptest::collection::vec((0..n, 0..n), 0..200)
+            .prop_map(move |edges| from_edges(n, edges))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn adjacency_codec_roundtrips(g in arb_graph()) {
+        let blob = adjacency::encode_graph(&g);
+        prop_assert_eq!(blob.len() as u64, g.storage_bytes());
+        let back = adjacency::decode_graph(&blob).unwrap();
+        prop_assert_eq!(back, g);
+    }
+
+    #[test]
+    fn transpose_is_an_involution(g in arb_graph()) {
+        prop_assert_eq!(g.transpose().transpose(), g.clone());
+        prop_assert_eq!(g.transpose().num_edges(), g.num_edges());
+    }
+
+    #[test]
+    fn degree_sums_match_edge_count(g in arb_graph()) {
+        let out: u64 = g.vertices().map(|v| g.out_degree(v) as u64).sum();
+        let inn: u64 = g.in_degrees().iter().map(|&d| d as u64).sum();
+        prop_assert_eq!(out, g.num_edges());
+        prop_assert_eq!(inn, g.num_edges());
+    }
+
+    #[test]
+    fn builder_dedup_is_idempotent(g in arb_graph()) {
+        let mut b = GraphBuilder::new(g.num_vertices());
+        b.extend(g.edges());
+        b.extend(g.edges()); // every edge twice
+        prop_assert_eq!(b.build(), g);
+    }
+
+    #[test]
+    fn partitioning_is_total_and_disjoint(g in arb_graph(), p in 1u32..5) {
+        // Clamp to a power of two no larger than the vertex count.
+        let cap = g.num_vertices().max(1);
+        let mut p = 1u32 << p.min(2);
+        while p > cap {
+            p /= 2;
+        }
+        let kway = RecursivePartitioner::default().partition(&g, p);
+        let sizes = kway.partitioning.sizes();
+        prop_assert_eq!(sizes.iter().sum::<u32>(), g.num_vertices());
+        // Quality metrics are internally consistent.
+        let q = quality(&g, &kway.partitioning);
+        prop_assert_eq!(q.inner_edges + q.cross_edges, g.num_edges());
+        prop_assert!(kway.sketch.is_monotone());
+    }
+
+    #[test]
+    fn vertex_encoding_is_a_bijection(n in 1u32..200, p in 1u32..8, seed in 0u64..1000) {
+        let part = random_partition(n, p, seed);
+        let enc = VertexEncoding::new(&part);
+        let mut seen = vec![false; n as usize];
+        for v in 0..n {
+            let e = enc.encode(VertexId(v));
+            prop_assert!(!seen[e.index()], "collision at {}", e);
+            seen[e.index()] = true;
+            prop_assert_eq!(enc.decode(e), VertexId(v));
+            prop_assert_eq!(enc.pid_of_encoded(e), part.pid_of(VertexId(v)));
+        }
+    }
+
+    #[test]
+    fn propagation_pagerank_matches_reference(g in arb_graph(), seed in 0u64..100) {
+        let n = g.num_vertices();
+        let p = 2u32.min(n);
+        let machines = 2u16;
+        let part = random_partition(n, p, seed);
+        let placement = (0..p).map(|i| MachineId((i % machines as u32) as u16)).collect();
+        let pg = PartitionedGraph::from_parts(Arc::new(g.clone()), part, placement);
+        let cluster = ClusterConfig::flat(machines).build();
+        let engine = PropagationEngine::new(&cluster, &pg, EngineOptions::full());
+        let app = NetworkRanking::new(2);
+        let (out, _) = app.run_propagation(&engine);
+        prop_assert!(out.approx_eq(&app.reference(&g), 1e-12));
+    }
+
+    #[test]
+    fn simulation_is_deterministic(g in arb_graph()) {
+        let cluster = ClusterConfig::flat(3).build();
+        let p = 2u32.min(g.num_vertices());
+        let run = || {
+            let s = Surfer::builder(cluster.clone()).partitions(p).load(&g);
+            let r = s.run(&NetworkRanking::new(2));
+            (r.report.response_time, r.report.network_bytes, r.report.disk_read_bytes)
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn partition_metadata_is_consistent(g in arb_graph(), seed in 0u64..50) {
+        let n = g.num_vertices();
+        let p = 3u32.min(n);
+        let part = random_partition(n, p, seed);
+        let placement = (0..p).map(|i| MachineId(i as u16 % 2)).collect();
+        let pg = PartitionedGraph::from_parts(Arc::new(g.clone()), Partitioning::new(part.as_slice().to_vec(), p), placement);
+        let mut total_edges = 0u64;
+        let mut inner = 0u64;
+        for pid in pg.partitions() {
+            let m = pg.meta(pid);
+            total_edges += m.total_out_edges;
+            inner += m.inner_edges;
+            // Every boundary vertex has a cross edge in some direction;
+            // every member is either inner or boundary.
+            for &v in &m.members {
+                prop_assert_eq!(pg.is_inner(v), !m.boundary.contains(&v));
+            }
+        }
+        prop_assert_eq!(total_edges, g.num_edges());
+        let cross: u64 = g.num_edges() - inner;
+        let q = quality(&g, pg.partitioning());
+        prop_assert_eq!(cross, q.cross_edges);
+    }
+}
