@@ -123,7 +123,7 @@ impl Propagation for RecommendPropagation {
         true
     }
 
-    fn merge(&self, _a: (), _b: ()) -> () {}
+    fn merge(&self, _a: (), _b: ()) {}
     // LOC:END(rs_propagation)
 
     fn msg_bytes(&self, _m: &()) -> u64 {

@@ -1,10 +1,11 @@
 //! Criterion micro-benchmarks of the engines: one NR iteration through the
-//! propagation engine (O1 vs O4) and through MapReduce, plus the cascade
-//! analysis.
+//! propagation engine (O1 vs O4, swept over worker-thread counts) and
+//! through MapReduce, plus the cascade analysis.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use std::sync::Arc;
 use surfer_apps::pagerank::{NetworkRanking, PageRankPropagation};
+use surfer_cluster::par::resolve_threads;
 use surfer_cluster::ClusterConfig;
 use surfer_core::{
     cascade::CascadeAnalysis, EngineOptions, PropagationEngine, SurferApp,
@@ -12,6 +13,15 @@ use surfer_core::{
 use surfer_graph::generators::social::{msn_like, MsnScale};
 use surfer_mapreduce::MapReduceEngine;
 use surfer_partition::{bandwidth_aware_partition, BisectConfig, PartitionedGraph};
+
+/// Worker-thread counts under test: sequential, 2, and one per host core
+/// (deduplicated on small hosts).
+fn thread_counts() -> Vec<usize> {
+    let mut counts = vec![1, 2, resolve_threads(0)];
+    counts.sort_unstable();
+    counts.dedup();
+    counts
+}
 
 fn bench_engines(c: &mut Criterion) {
     let g = Arc::new(msn_like(MsnScale::Tiny, 42));
@@ -25,20 +35,24 @@ fn bench_engines(c: &mut Criterion) {
     group.sample_size(10);
 
     for (name, opts) in [("nr_iteration_o1", EngineOptions::none()), ("nr_iteration_o4", EngineOptions::full())] {
-        let engine = PropagationEngine::new(&cluster, &pg, opts);
-        group.bench_function(name, |b| {
-            b.iter(|| {
-                let mut state = engine.init_state(&prog);
-                engine.run_iteration(&prog, &mut state)
+        for t in thread_counts() {
+            let engine = PropagationEngine::new(&cluster, &pg, opts.threads(t));
+            group.bench_function(&format!("{name}_t{t}"), |b| {
+                b.iter(|| {
+                    let mut state = engine.init_state(&prog);
+                    engine.run_iteration(&prog, &mut state)
+                });
             });
-        });
+        }
     }
 
-    let mr = MapReduceEngine::new(&cluster, &pg);
-    group.bench_function("nr_iteration_mapreduce", |b| {
-        let app = NetworkRanking::new(1);
-        b.iter(|| app.run_mapreduce(&mr));
-    });
+    for t in thread_counts() {
+        let mr = MapReduceEngine::new(&cluster, &pg).with_threads(t);
+        group.bench_function(&format!("nr_iteration_mapreduce_t{t}"), |b| {
+            let app = NetworkRanking::new(1);
+            b.iter(|| app.run_mapreduce(&mr));
+        });
+    }
 
     group.bench_function("cascade_analysis", |b| {
         b.iter(|| CascadeAnalysis::analyze(&pg));

@@ -7,8 +7,12 @@
 //! ```
 //!
 //! Subcommands: all, table1, table2, table3, table4, table5, fig6, fig7,
-//! fig9, fig10, fig11, fig12, cascade. Options: `--scale tiny|small|medium|large`
-//! (default small), `--machines N` (default 32), `--partitions P` (default 64).
+//! fig9, fig10, fig11, fig12, cascade, bench. Options:
+//! `--scale tiny|small|medium|large` (default small), `--machines N`
+//! (default 32), `--partitions P` (default 64).
+//!
+//! `bench` measures host wall-clock of the real propagation computation at
+//! worker-thread counts {1, 2, max} and writes `BENCH_propagation.json`.
 
 use surfer_bench::experiments::*;
 use surfer_bench::{ExpConfig, Workload};
@@ -53,7 +57,7 @@ fn main() {
     let needs_workload = matches!(
         cmd.as_str(),
         "all" | "table1" | "table2" | "table3" | "fig6" | "fig7" | "fig9" | "fig10" | "fig12"
-            | "cascade"
+            | "cascade" | "bench"
     );
     let workload = needs_workload.then(|| {
         eprintln!("# generating + partitioning the MSN-like graph ...");
@@ -81,12 +85,25 @@ fn main() {
         "fig11" => println!("{}", fig11::run(cfg.seed).1),
         "fig12" => println!("{}", fig12::run(w.expect("workload")).1),
         "cascade" => println!("{}", cascade::run(w.expect("workload")).1),
+        "bench" => {
+            let (results, json) = bench_threads::run(w.expect("workload"), 3);
+            for r in &results {
+                eprintln!(
+                    "# threads={} ({} resolved): {:.1} ms, {:.0} msgs/s",
+                    r.threads, r.resolved, r.wall_ms, r.messages_per_sec
+                );
+            }
+            std::fs::write("BENCH_propagation.json", &json)
+                .unwrap_or_else(|e| die(&format!("writing BENCH_propagation.json: {e}")));
+            eprintln!("# wrote BENCH_propagation.json");
+            println!("{json}");
+        }
         "ablation" => {
             println!("{}", ablation::run_psize(&cfg).1);
             println!("{}", ablation::run_locality(&cfg).1);
         }
         other => die(&format!(
-            "unknown experiment '{other}' (all|table1..table5|fig6|fig7|fig9|fig10|fig11|fig12|cascade|ablation)"
+            "unknown experiment '{other}' (all|table1..table5|fig6|fig7|fig9|fig10|fig11|fig12|cascade|ablation|bench)"
         )),
     };
 

@@ -6,6 +6,7 @@
 //! the paper's numbers.
 
 pub mod ablation;
+pub mod bench_threads;
 pub mod cascade;
 pub mod fig10;
 pub mod fig11;

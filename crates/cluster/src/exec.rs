@@ -709,8 +709,10 @@ mod tests {
 
     #[test]
     fn task_slots_limit_concurrency() {
-        let mut spec = crate::machine::MachineSpec::default();
-        spec.task_slots = 2;
+        let spec = crate::machine::MachineSpec {
+            task_slots: 2,
+            ..Default::default()
+        };
         let c = ClusterConfig::flat(1).machine_spec(spec).build();
         let mut ex = Executor::new(&c);
         for _ in 0..4 {

@@ -26,6 +26,7 @@ pub mod exec;
 pub mod jobmanager;
 pub mod machine;
 pub mod metrics;
+pub mod par;
 pub mod replication;
 pub mod storage;
 pub mod time;

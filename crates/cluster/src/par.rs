@@ -1,0 +1,123 @@
+//! Real (host-machine) thread-pool helpers for the engines' computation
+//! stages.
+//!
+//! The simulated cluster charges *virtual* time; the actual Transfer,
+//! Combine, Map and Reduce computations run on the host and dominate
+//! wall-clock. These helpers fan per-partition work out over scoped std
+//! threads while keeping results **deterministic**: work item `i` always
+//! lands at slot `i` of the result vector, regardless of which worker ran
+//! it or in what order workers finished. Callers then fold results in
+//! ascending index (= partition id) order, so message ordering, tallies and
+//! reports are bit-identical to a sequential run.
+//!
+//! `threads == 1` runs inline on the calling thread — no spawn, exactly the
+//! legacy sequential execution.
+
+/// Resolve a thread-count knob: `0` means "one worker per available core".
+pub fn resolve_threads(threads: usize) -> usize {
+    if threads == 0 {
+        std::thread::available_parallelism().map_or(1, |n| n.get())
+    } else {
+        threads
+    }
+}
+
+/// Map `f` over `items`, returning outputs in item order.
+///
+/// Items are dealt round-robin to `threads` workers (partition sizes are
+/// often skewed; striding spreads neighboring — similarly sized —
+/// partitions across workers). `f` receives `(index, item)` so callers can
+/// use the original partition id.
+pub fn par_map_vec<I, T, F>(threads: usize, items: Vec<I>, f: F) -> Vec<T>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+{
+    let threads = resolve_threads(threads).min(items.len().max(1));
+    if threads <= 1 {
+        return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
+    }
+
+    // Deal items round-robin, remembering each one's origin index.
+    let mut queues: Vec<Vec<(usize, I)>> = (0..threads).map(|_| Vec::new()).collect();
+    for (i, item) in items.into_iter().enumerate() {
+        queues[i % threads].push((i, item));
+    }
+
+    let mut slots: Vec<Option<T>> = Vec::new();
+    std::thread::scope(|s| {
+        let handles: Vec<_> = queues
+            .into_iter()
+            .map(|queue| {
+                s.spawn(|| {
+                    queue.into_iter().map(|(i, item)| (i, f(i, item))).collect::<Vec<_>>()
+                })
+            })
+            .collect();
+        for h in handles {
+            for (i, out) in h.join().expect("worker thread panicked") {
+                if i >= slots.len() {
+                    slots.resize_with(i + 1, || None);
+                }
+                slots[i] = Some(out);
+            }
+        }
+    });
+    slots.into_iter().map(|slot| slot.expect("every item produces an output")).collect()
+}
+
+/// [`par_map_vec`] over the index range `0..count` — for stages whose work
+/// items are just partition ids.
+pub fn par_map_indexed<T, F>(threads: usize, count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    par_map_vec(threads, (0..count).collect::<Vec<_>>(), |_, i| f(i))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn resolve_zero_means_available_parallelism() {
+        assert!(resolve_threads(0) >= 1);
+        assert_eq!(resolve_threads(3), 3);
+    }
+
+    #[test]
+    fn results_in_item_order_for_any_thread_count() {
+        let items: Vec<u64> = (0..37).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x).collect();
+        for t in [1, 2, 3, 8, 64] {
+            let got = par_map_vec(t, items.clone(), |_, x| x * x);
+            assert_eq!(got, expect, "threads = {t}");
+        }
+    }
+
+    #[test]
+    fn index_matches_item_position() {
+        let got = par_map_vec(4, vec!['a', 'b', 'c'], |i, c| (i, c));
+        assert_eq!(got, vec![(0, 'a'), (1, 'b'), (2, 'c')]);
+    }
+
+    #[test]
+    fn all_items_run_exactly_once() {
+        let count = AtomicUsize::new(0);
+        let out = par_map_indexed(5, 100, |i| {
+            count.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(count.load(Ordering::Relaxed), 100);
+        assert_eq!(out, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let out: Vec<u32> = par_map_vec(4, Vec::<u32>::new(), |_, x| x);
+        assert!(out.is_empty());
+    }
+}

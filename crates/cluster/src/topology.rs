@@ -79,11 +79,11 @@ impl Topology {
     /// delay, matching the paper's 32×/16× default ratio.
     pub fn t2_with_delay(pods: u16, levels: u8, machines: u16, top_delay: f64) -> Topology {
         assert!(pods >= 2, "a tree topology needs at least 2 pods");
-        assert!(machines % pods == 0, "pods must divide machines evenly");
+        assert!(machines.is_multiple_of(pods), "pods must divide machines evenly");
         assert!(levels == 1 || levels == 2, "supported levels: 1 or 2");
         assert!(top_delay > 1.0, "delay factor must exceed 1");
         if levels == 2 {
-            assert!(pods % 2 == 0, "2-level trees need an even pod count");
+            assert!(pods.is_multiple_of(2), "2-level trees need an even pod count");
         }
         Topology::Tree {
             machines,
@@ -183,9 +183,9 @@ impl Topology {
     pub fn machine_graph(&self) -> Vec<Vec<f64>> {
         let n = self.num_machines() as usize;
         let mut g = vec![vec![0.0; n]; n];
-        for i in 0..n {
-            for j in 0..n {
-                g[i][j] = self.bandwidth_factor(MachineId(i as u16), MachineId(j as u16));
+        for (i, row) in g.iter_mut().enumerate() {
+            for (j, cell) in row.iter_mut().enumerate() {
+                *cell = self.bandwidth_factor(MachineId(i as u16), MachineId(j as u16));
             }
         }
         g
@@ -268,9 +268,9 @@ mod tests {
     fn machine_graph_is_symmetric() {
         let t = Topology::t2(4, 2, 16);
         let g = t.machine_graph();
-        for i in 0..16 {
-            for j in 0..16 {
-                assert_eq!(g[i][j], g[j][i]);
+        for (i, row) in g.iter().enumerate() {
+            for (j, val) in row.iter().enumerate() {
+                assert_eq!(*val, g[j][i]);
             }
         }
     }

@@ -134,7 +134,7 @@ proptest! {
     fn slower_networks_never_speed_jobs_up(dag in arb_dag()) {
         // Monotonicity of the cost model: a topology with strictly lower
         // cross-pair bandwidth cannot reduce response time.
-        let machines = if dag.machines % 2 == 0 { dag.machines } else { dag.machines + 1 };
+        let machines = if dag.machines.is_multiple_of(2) { dag.machines } else { dag.machines + 1 };
         let fast = ClusterConfig::flat(machines).build();
         let slow = ClusterConfig::tree(2, 1, machines).build();
         let rf = build(&fast, &dag).run();

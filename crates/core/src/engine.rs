@@ -15,11 +15,16 @@
 //! Computation is real: the engine produces exact application results. The
 //! cluster charges time/bytes through the discrete-event executor with the
 //! *actual* message byte counts.
+//!
+//! Both real stages run on host worker threads, one partition per work item
+//! (see [`EngineOptions::threads`]). Results are reassembled in ascending
+//! partition-id order, so states, message counts and [`ExecReport`] numbers
+//! are identical for every thread count.
 
 use crate::opt::OptimizationLevel;
 use crate::primitive::{Propagation, VirtualVertexTask};
 use std::collections::BTreeMap;
-use std::collections::HashMap;
+use surfer_cluster::par::par_map_vec;
 use surfer_cluster::{
     ExecReport, Executor, Fault, MachineId, PartitionStore, SimCluster, StoreReplanner, TaskKind,
     TaskSpec,
@@ -36,6 +41,10 @@ pub struct EngineOptions {
     /// Merge cross-partition messages per destination vertex when the
     /// program is associative (§5.1 local combination).
     pub local_combination: bool,
+    /// Host worker threads for the real Transfer/Combine computation.
+    /// `0` (the default) means one per available core; `1` runs the legacy
+    /// sequential path inline. Any value produces identical results.
+    pub threads: usize,
 }
 
 impl EngineOptions {
@@ -44,19 +53,41 @@ impl EngineOptions {
         EngineOptions {
             local_propagation: level.local_propagation(),
             local_combination: level.local_combination(),
+            threads: 0,
         }
     }
 
     /// Everything on (O4 behaviour).
     pub fn full() -> Self {
-        EngineOptions { local_propagation: true, local_combination: true }
+        EngineOptions { local_propagation: true, local_combination: true, threads: 0 }
     }
 
     /// Everything off (O1 behaviour).
     pub fn none() -> Self {
-        EngineOptions { local_propagation: false, local_combination: false }
+        EngineOptions { local_propagation: false, local_combination: false, threads: 0 }
+    }
+
+    /// Set the host worker-thread count (`0` = available parallelism).
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
     }
 }
+
+/// What one partition's Transfer scan produced: messages in exactly the
+/// order the sequential scan would have pushed them (locals and unmerged
+/// cross messages during the scan, merged cross messages after it, in
+/// destination order), plus the partition's cost tally.
+struct Outbox<M> {
+    msgs: Vec<(VertexId, M)>,
+    tally: PartitionTally,
+    emitted: u64,
+}
+
+/// What one partition's virtual-vertex transfer produced: `(virtual id,
+/// msg)` pairs in sequential emission order, the per-machine byte row, and
+/// the number of `transfer()` calls.
+type VirtualOutbox<M> = (Vec<(u64, M)>, Vec<u64>, u64);
 
 /// Per-partition cost tally for one iteration.
 #[derive(Debug, Clone, Default)]
@@ -69,7 +100,9 @@ struct PartitionTally {
     /// vertex (elided from disk by local propagation).
     local_inner_bytes: u64,
     /// Outgoing bytes per remote partition (after local combination).
-    cross_out: HashMap<u32, u64>,
+    /// Ordered so the simulated transfer DAG is built identically run to
+    /// run (and for any thread count).
+    cross_out: BTreeMap<u32, u64>,
     /// Messages combined at this partition.
     combine_msgs: u64,
 }
@@ -196,27 +229,32 @@ impl<'a> PropagationEngine<'a> {
         let g = pg.graph();
         let n = g.num_vertices() as usize;
         assert_eq!(state.len(), n, "state vector must cover every vertex");
-        let num_p = pg.num_partitions() as usize;
+        let threads = self.options.threads;
         let merge_cross = self.options.local_combination && prog.associative();
+        let enc = pg.encoding();
 
-        let mut inbox: Vec<Vec<P::Msg>> = (0..n).map(|_| Vec::new()).collect();
-        let mut tally: Vec<PartitionTally> = vec![PartitionTally::default(); num_p];
-        let mut messages = 0u64;
-
-        // ---- Transfer stage (real). ----
-        for pid in pg.partitions() {
+        // ---- Transfer stage (real, one worker item per partition). ----
+        // Each scan emits into a private outbox in exactly the sequential
+        // push order; outboxes are folded below in ascending pid order, so
+        // every combine() input bag — and every tally — is identical no
+        // matter how many threads ran or how they were scheduled.
+        let state_ro: &[P::State] = state;
+        let pids: Vec<u32> = pg.partitions().collect();
+        let outboxes: Vec<Outbox<P::Msg>> = par_map_vec(threads, pids, |_, pid| {
             let meta = pg.meta(pid);
-            let t = &mut tally[pid as usize];
+            let mut t = PartitionTally::default();
+            let mut msgs: Vec<(VertexId, P::Msg)> = Vec::new();
+            let mut emitted = 0u64;
             // Local-combination buffer: one merged message per remote
             // destination vertex.
             let mut crossbuf: BTreeMap<VertexId, P::Msg> = BTreeMap::new();
             for &v in &meta.members {
                 for &to in g.neighbors(v) {
                     t.transfer_calls += 1;
-                    let Some(msg) = prog.transfer(v, &state[v.index()], to, g) else {
+                    let Some(msg) = prog.transfer(v, &state_ro[v.index()], to, g) else {
                         continue;
                     };
-                    messages += 1;
+                    emitted += 1;
                     let q = pg.pid_of(to);
                     if q == pid {
                         let bytes = prog.msg_bytes(&msg);
@@ -224,7 +262,7 @@ impl<'a> PropagationEngine<'a> {
                         if pg.is_inner(to) {
                             t.local_inner_bytes += bytes;
                         }
-                        inbox[to.index()].push(msg);
+                        msgs.push((to, msg));
                     } else if merge_cross {
                         match crossbuf.remove(&to) {
                             Some(prev) => {
@@ -237,24 +275,85 @@ impl<'a> PropagationEngine<'a> {
                     } else {
                         let bytes = prog.msg_bytes(&msg);
                         *t.cross_out.entry(q).or_insert(0) += bytes;
-                        inbox[to.index()].push(msg);
+                        msgs.push((to, msg));
                     }
                 }
             }
             for (to, msg) in crossbuf {
                 let q = pg.pid_of(to);
                 *t.cross_out.entry(q).or_insert(0) += prog.msg_bytes(&msg);
-                inbox[to.index()].push(msg);
+                msgs.push((to, msg));
+            }
+            Outbox { msgs, tally: t, emitted }
+        });
+
+        // ---- Flat counted mailbox: count, prefix-sum, fill. ----
+        // Slots are *encoded* ids (App. B): contiguous per partition and
+        // order-preserving within one, so each partition's incoming messages
+        // occupy one contiguous range that Combine can split off below.
+        let mut offsets = vec![0usize; n + 1];
+        for ob in &outboxes {
+            for (to, _) in &ob.msgs {
+                offsets[enc.encode(*to).index() + 1] += 1;
+            }
+        }
+        for i in 0..n {
+            offsets[i + 1] += offsets[i];
+        }
+        let mut mailbox: Vec<Option<P::Msg>> = Vec::with_capacity(offsets[n]);
+        mailbox.resize_with(offsets[n], || None);
+        let mut cursor: Vec<usize> = offsets[..n].to_vec();
+        let mut messages = 0u64;
+        let mut tally: Vec<PartitionTally> = Vec::with_capacity(outboxes.len());
+        for ob in outboxes {
+            messages += ob.emitted;
+            tally.push(ob.tally);
+            for (to, msg) in ob.msgs {
+                let slot = enc.encode(to).index();
+                mailbox[cursor[slot]] = Some(msg);
+                cursor[slot] += 1;
             }
         }
 
-        // ---- Combine stage (real). ----
+        // ---- Combine stage (real, one worker item per partition). ----
+        // Split the mailbox into disjoint per-partition slices. Workers take
+        // each message exactly once and return new member states; the main
+        // thread writes them back in pid order (raw vertex ids are scattered
+        // across `state`, so the writeback itself stays sequential).
+        let mut chunks: Vec<(u32, &mut [Option<P::Msg>])> = Vec::with_capacity(tally.len());
+        let mut rest: &mut [Option<P::Msg>] = &mut mailbox;
+        let mut consumed = 0usize;
         for pid in pg.partitions() {
-            let t = &mut tally[pid as usize];
-            for &v in &pg.meta(pid).members {
-                let msgs = std::mem::take(&mut inbox[v.index()]);
-                t.combine_msgs += msgs.len() as u64;
-                state[v.index()] = prog.combine(v, &state[v.index()], msgs, g);
+            let end = offsets[enc.range(pid).1.index()];
+            let (head, tail) = rest.split_at_mut(end - consumed);
+            chunks.push((pid, head));
+            consumed = end;
+            rest = tail;
+        }
+        let state_ro: &[P::State] = state;
+        let offsets = &offsets;
+        let combined: Vec<(Vec<P::State>, u64)> =
+            par_map_vec(threads, chunks, |_, (pid, chunk)| {
+                let meta = pg.meta(pid);
+                let base = offsets[enc.range(pid).0.index()];
+                let mut new_states = Vec::with_capacity(meta.members.len());
+                let mut combine_msgs = 0u64;
+                for &v in &meta.members {
+                    let slot = enc.encode(v).index();
+                    let (lo, hi) = (offsets[slot] - base, offsets[slot + 1] - base);
+                    let mut msgs = Vec::with_capacity(hi - lo);
+                    for m in &mut chunk[lo..hi] {
+                        msgs.push(m.take().expect("mailbox message consumed exactly once"));
+                    }
+                    combine_msgs += msgs.len() as u64;
+                    new_states.push(prog.combine(v, &state_ro[v.index()], msgs, g));
+                }
+                (new_states, combine_msgs)
+            });
+        for (pid, (new_states, combine_msgs)) in combined.into_iter().enumerate() {
+            tally[pid].combine_msgs = combine_msgs;
+            for (&v, s) in pg.meta(pid as u32).members.iter().zip(new_states) {
+                state[v.index()] = s;
             }
         }
 
@@ -376,49 +475,68 @@ impl<'a> PropagationEngine<'a> {
         let pg = self.graph;
         let g = pg.graph();
         let machines = self.cluster.num_machines();
+        let threads = self.options.threads;
         let merge = self.options.local_combination && task.associative();
 
-        // Real transfer + routing.
-        let mut groups: BTreeMap<u64, Vec<T::Msg>> = BTreeMap::new();
-        // bytes_to[pid][machine]
-        let mut bytes_to: Vec<Vec<u64>> =
-            vec![vec![0; machines as usize]; pg.num_partitions() as usize];
-        let mut transfer_calls = vec![0u64; pg.num_partitions() as usize];
-        for pid in pg.partitions() {
-            let mut local: BTreeMap<u64, T::Msg> = BTreeMap::new();
-            for &v in &pg.meta(pid).members {
-                transfer_calls[pid as usize] += 1;
-                if let Some((vid, msg)) = task.transfer(v, g) {
-                    if merge {
-                        match local.remove(&vid) {
-                            Some(prev) => {
-                                local.insert(vid, task.merge(prev, msg));
+        // Real transfer + routing, one worker item per partition. Each
+        // outbox lists `(virtual id, msg)` in the sequential emission order
+        // (merged messages appended after the scan in virtual-id order)
+        // plus the partition's per-machine byte row and call count.
+        let pids: Vec<u32> = pg.partitions().collect();
+        let transfers: Vec<VirtualOutbox<T::Msg>> =
+            par_map_vec(threads, pids, |_, pid| {
+                let mut msgs: Vec<(u64, T::Msg)> = Vec::new();
+                let mut bytes_row = vec![0u64; machines as usize];
+                let mut calls = 0u64;
+                let mut local: BTreeMap<u64, T::Msg> = BTreeMap::new();
+                for &v in &pg.meta(pid).members {
+                    calls += 1;
+                    if let Some((vid, msg)) = task.transfer(v, g) {
+                        if merge {
+                            match local.remove(&vid) {
+                                Some(prev) => {
+                                    local.insert(vid, task.merge(prev, msg));
+                                }
+                                None => {
+                                    local.insert(vid, msg);
+                                }
                             }
-                            None => {
-                                local.insert(vid, msg);
-                            }
+                        } else {
+                            bytes_row[(vid % machines as u64) as usize] += task.msg_bytes(&msg);
+                            msgs.push((vid, msg));
                         }
-                    } else {
-                        let m = (vid % machines as u64) as usize;
-                        bytes_to[pid as usize][m] += task.msg_bytes(&msg);
-                        groups.entry(vid).or_default().push(msg);
                     }
                 }
-            }
-            for (vid, msg) in local {
-                let m = (vid % machines as u64) as usize;
-                bytes_to[pid as usize][m] += task.msg_bytes(&msg);
+                for (vid, msg) in local {
+                    bytes_row[(vid % machines as u64) as usize] += task.msg_bytes(&msg);
+                    msgs.push((vid, msg));
+                }
+                (msgs, bytes_row, calls)
+            });
+
+        // Group per virtual vertex, folding outboxes in ascending pid order
+        // so each group's message order matches the sequential run.
+        let mut groups: BTreeMap<u64, Vec<T::Msg>> = BTreeMap::new();
+        // bytes_to[pid][machine]
+        let mut bytes_to: Vec<Vec<u64>> = Vec::with_capacity(transfers.len());
+        let mut transfer_calls: Vec<u64> = Vec::with_capacity(transfers.len());
+        for (msgs, bytes_row, calls) in transfers {
+            for (vid, msg) in msgs {
                 groups.entry(vid).or_default().push(msg);
             }
+            bytes_to.push(bytes_row);
+            transfer_calls.push(calls);
         }
 
-        // Real combine + per-machine tallies.
+        // Real combine, one worker item per virtual vertex; outputs come
+        // back in virtual-id order because the group list is sorted.
+        let entries: Vec<(u64, Vec<T::Msg>)> = groups.into_iter().collect();
         let mut combine_msgs = vec![0u64; machines as usize];
-        let mut outputs = Vec::with_capacity(groups.len());
-        for (vid, msgs) in groups {
-            combine_msgs[(vid % machines as u64) as usize] += msgs.len() as u64;
-            outputs.push(task.combine(vid, msgs));
+        for (vid, msgs) in &entries {
+            combine_msgs[(*vid % machines as u64) as usize] += msgs.len() as u64;
         }
+        let outputs: Vec<T::Out> =
+            par_map_vec(threads, entries, |_, (vid, msgs)| task.combine(vid, msgs));
 
         // Simulated DAG: one Transfer task per partition, one virtual
         // Combine task per machine.

@@ -310,7 +310,7 @@ mod tests {
             type State = bool;
             type Msg = ();
             fn init(&self, v: surfer_graph::VertexId, _g: &surfer_graph::CsrGraph) -> bool {
-                v.0 % 97 == 0
+                v.0.is_multiple_of(97)
             }
             fn transfer(
                 &self,

@@ -19,7 +19,10 @@
 use surfer_graph::{CsrGraph, VertexId};
 
 /// An edge-oriented propagation program.
-pub trait Propagation {
+///
+/// Programs are immutable during an iteration and shared by the engine's
+/// worker threads, hence the `Sync` bound.
+pub trait Propagation: Sync {
     /// Per-vertex state, persisted across iterations.
     type State: Clone + Send + Sync;
     /// The value transferred along an edge.
@@ -81,11 +84,13 @@ pub trait Propagation {
 }
 
 /// A vertex-oriented task routed through virtual vertices (§3.2).
-pub trait VirtualVertexTask {
+///
+/// Shared by the engine's worker threads, hence the `Sync` bound.
+pub trait VirtualVertexTask: Sync {
     /// The value each vertex contributes.
     type Msg: Clone + Send;
     /// A combined output per virtual vertex.
-    type Out;
+    type Out: Send;
 
     /// The virtual vertex `v` contributes to, and the value — or `None` to
     /// contribute nothing.

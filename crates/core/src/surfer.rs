@@ -45,9 +45,18 @@ pub struct SurferBuilder {
     partitions: Option<u32>,
     optimization: OptimizationLevel,
     bisect: BisectConfig,
+    threads: usize,
 }
 
 impl SurferBuilder {
+    /// Host worker threads for the engines' real computation stages
+    /// (`0` = one per available core, `1` = sequential). Results are
+    /// identical for any value.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
     /// Override the partition count (default: the §4.2 formula
     /// `P = 2^ceil(log2(||G|| / memory))`).
     pub fn partitions(mut self, p: u32) -> Self {
@@ -83,14 +92,26 @@ impl SurferBuilder {
             }
         };
         let pg = PartitionedGraph::new(Arc::new(graph.clone()), &placed);
-        Surfer { cluster: self.cluster, pg, placed, optimization: self.optimization }
+        Surfer {
+            cluster: self.cluster,
+            pg,
+            placed,
+            optimization: self.optimization,
+            threads: self.threads,
+        }
     }
 
     /// Reuse an existing placed partitioning (e.g. to compare optimization
     /// levels without re-partitioning).
     pub fn load_placed(self, graph: Arc<CsrGraph>, placed: PlacedPartitioning) -> Surfer {
         let pg = PartitionedGraph::new(graph, &placed);
-        Surfer { cluster: self.cluster, pg, placed, optimization: self.optimization }
+        Surfer {
+            cluster: self.cluster,
+            pg,
+            placed,
+            optimization: self.optimization,
+            threads: self.threads,
+        }
     }
 }
 
@@ -102,6 +123,7 @@ pub struct Surfer {
     pg: PartitionedGraph,
     placed: PlacedPartitioning,
     optimization: OptimizationLevel,
+    threads: usize,
 }
 
 impl Surfer {
@@ -112,7 +134,13 @@ impl Surfer {
             partitions: None,
             optimization: OptimizationLevel::O4,
             bisect: BisectConfig::default(),
+            threads: 0,
         }
+    }
+
+    /// The host worker-thread knob (`0` = auto).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The cluster.
@@ -135,18 +163,18 @@ impl Surfer {
         self.optimization
     }
 
-    /// A propagation engine honoring the optimization level.
+    /// A propagation engine honoring the optimization level and thread knob.
     pub fn propagation(&self) -> PropagationEngine<'_> {
         PropagationEngine::new(
             &self.cluster,
             &self.pg,
-            EngineOptions::from_level(self.optimization),
+            EngineOptions::from_level(self.optimization).threads(self.threads),
         )
     }
 
-    /// A MapReduce engine over the same partitions.
+    /// A MapReduce engine over the same partitions and thread knob.
     pub fn mapreduce(&self) -> MapReduceEngine<'_> {
-        MapReduceEngine::new(&self.cluster, &self.pg)
+        MapReduceEngine::new(&self.cluster, &self.pg).with_threads(self.threads)
     }
 
     /// Run an application with the propagation primitive (the default and

@@ -28,7 +28,7 @@ pub struct WattsStrogatzConfig {
 /// edge are stored, matching the paper's directed-graph model of the
 /// friendship network).
 pub fn watts_strogatz(cfg: &WattsStrogatzConfig) -> CsrGraph {
-    assert!(cfg.k % 2 == 0, "k must be even");
+    assert!(cfg.k.is_multiple_of(2), "k must be even");
     assert!(cfg.k < cfg.n, "k must be < n");
     assert!((0.0..=1.0).contains(&cfg.beta), "beta must be in [0,1]");
     let mut rng = StdRng::seed_from_u64(cfg.seed);

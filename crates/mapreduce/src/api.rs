@@ -49,11 +49,15 @@ impl<K, V> Default for Emitter<K, V> {
 }
 
 /// The user-defined map over one graph partition.
-pub trait PartitionMapper {
+///
+/// Mappers are immutable during a job and shared by the engine's worker
+/// threads, hence the `Sync` bound; pairs move between threads, hence
+/// `Send` on the key/value types.
+pub trait PartitionMapper: Sync {
     /// Intermediate key.
-    type Key: Ord + Clone + std::hash::Hash;
+    type Key: Ord + Clone + std::hash::Hash + Send;
     /// Intermediate value.
-    type Value: Clone;
+    type Value: Clone + Send;
 
     /// Process partition `pid` of `pg`, emitting intermediate pairs.
     fn map(&self, pg: &PartitionedGraph, pid: u32, out: &mut Emitter<Self::Key, Self::Value>);
@@ -73,13 +77,16 @@ pub trait PartitionMapper {
 }
 
 /// The user-defined reduce.
-pub trait Reducer {
+///
+/// Reducers run on worker threads like mappers: `Sync` on the reducer,
+/// `Send` on everything that crosses back to the main thread.
+pub trait Reducer: Sync {
     /// Intermediate key (must match the mapper's).
-    type Key;
+    type Key: Send;
     /// Intermediate value (must match the mapper's).
-    type Value;
+    type Value: Send;
     /// Final output record.
-    type Out;
+    type Out: Send;
 
     /// Combine all values of `key` into zero or more outputs.
     fn reduce(&self, key: &Self::Key, values: &[Self::Value], out: &mut Vec<Self::Out>);

@@ -9,11 +9,17 @@
 //! Computation is real (the returned outputs are exact); time and bytes are
 //! charged through the discrete-event executor using the actual emitted
 //! pair counts.
+//!
+//! The real Map and Reduce computations run on host worker threads (one
+//! partition / one reducer machine per work item); results fold back in
+//! ascending partition / machine order, so outputs and reports are
+//! identical for every thread count.
 
 use crate::api::{Emitter, PartitionMapper, Reducer};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
+use surfer_cluster::par::par_map_vec;
 use surfer_cluster::{ExecReport, Executor, MachineId, SimCluster, TaskKind, TaskSpec};
 use surfer_partition::PartitionedGraph;
 
@@ -33,6 +39,7 @@ pub struct MapReduceRun<Out> {
 pub struct MapReduceEngine<'a> {
     cluster: &'a SimCluster,
     graph: &'a PartitionedGraph,
+    threads: usize,
 }
 
 impl<'a> MapReduceEngine<'a> {
@@ -44,7 +51,20 @@ impl<'a> MapReduceEngine<'a> {
                 "partition {pid} placed on a machine outside this cluster"
             );
         }
-        MapReduceEngine { cluster, graph }
+        MapReduceEngine { cluster, graph, threads: 0 }
+    }
+
+    /// Set the host worker-thread count for the real Map/Reduce computation
+    /// (`0` = one per available core, `1` = sequential). Results are
+    /// identical for any value.
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// The configured thread knob (`0` = auto).
+    pub fn threads(&self) -> usize {
+        self.threads
     }
 
     /// The bound partitioned graph.
@@ -66,13 +86,14 @@ impl<'a> MapReduceEngine<'a> {
         let n_machines = self.cluster.num_machines();
         let pg = self.graph;
 
-        // ---- Real computation: map every partition. ----
-        let mut per_partition: Vec<Vec<(M::Key, M::Value)>> = Vec::new();
-        for pid in pg.partitions() {
-            let mut em = Emitter::new();
-            mapper.map(pg, pid, &mut em);
-            per_partition.push(em.into_pairs());
-        }
+        // ---- Real computation: map every partition (parallel). ----
+        let pids: Vec<u32> = pg.partitions().collect();
+        let per_partition: Vec<Vec<(M::Key, M::Value)>> =
+            par_map_vec(self.threads, pids, |_, pid| {
+                let mut em = Emitter::new();
+                mapper.map(pg, pid, &mut em);
+                em.into_pairs()
+            });
 
         // ---- Shuffle: hash keys to reducer machines, count bytes. ----
         // bytes_to[pid][r] = intermediate bytes from partition pid to reducer r.
@@ -88,17 +109,23 @@ impl<'a> MapReduceEngine<'a> {
             }
         }
 
-        // ---- Real computation: reduce. ----
+        // ---- Real computation: reduce (parallel, one item per machine).
+        // Per-machine output runs concatenate in machine order, preserving
+        // the sequential engine's "by reducer machine, then key" ordering.
+        let reduced: Vec<(Vec<R::Out>, u64)> = par_map_vec(self.threads, groups, |_, g| {
+            let mut outs = Vec::new();
+            let mut values = 0u64;
+            for (k, vs) in &g {
+                values += vs.len() as u64;
+                reducer.reduce(k, vs, &mut outs);
+            }
+            (outs, values)
+        });
         let mut outputs = Vec::new();
         let mut reduce_cost: Vec<(u64, u64)> = Vec::new(); // (values, outputs) per machine
-        for g in &groups {
-            let before = outputs.len();
-            let mut values = 0u64;
-            for (k, vs) in g {
-                values += vs.len() as u64;
-                reducer.reduce(k, vs, &mut outputs);
-            }
-            reduce_cost.push((values, (outputs.len() - before) as u64));
+        for (outs, values) in reduced {
+            reduce_cost.push((values, outs.len() as u64));
+            outputs.extend(outs);
         }
 
         // ---- Simulated execution. ----

@@ -91,7 +91,7 @@ pub fn gggp(g: &WGraph, tries: u32, seed: u64) -> Vec<bool> {
     for _ in 0..tries.max(1) {
         let s = rng.gen_range(0..n);
         let (side, cut) = grow_from(g, s);
-        if best.as_ref().map_or(true, |(bc, _)| cut < *bc) {
+        if best.as_ref().is_none_or(|(bc, _)| cut < *bc) {
             best = Some((cut, side));
         }
     }

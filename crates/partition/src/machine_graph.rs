@@ -112,7 +112,7 @@ impl MachineGraph {
                     std::mem::swap(&mut na[i], &mut nb[j]);
                     let ncut = self.aggregated_bandwidth(&na, &nb);
                     let gain = cut - ncut;
-                    if gain > 1e-12 && best.map_or(true, |(bg, _, _)| gain > bg) {
+                    if gain > 1e-12 && best.is_none_or(|(bg, _, _)| gain > bg) {
                         best = Some((gain, i, j));
                     }
                 }

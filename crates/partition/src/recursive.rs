@@ -2,7 +2,7 @@
 //!
 //! §4: Surfer partitions into `P = 2^L` parts with `L` passes of bisection,
 //! recording the partition sketch. The two halves of every bisection are
-//! processed in parallel (crossbeam scoped threads), mirroring the parallel
+//! processed in parallel (std scoped threads), mirroring the parallel
 //! multilevel algorithms of Karypis & Kumar the paper adapts.
 
 use crate::assignment::Partitioning;
@@ -155,13 +155,12 @@ impl RecursivePartitioner {
         let (mut lres, rres) = if left_ids.len() + right_ids.len() > 4096 {
             // Parallel halves for big nodes; joining both keeps the merge
             // deterministic regardless of scheduling.
-            crossbeam::scope(|s| {
+            std::thread::scope(|s| {
                 let lh =
-                    s.spawn(|_| self.recurse(root, left_ids, level + 1, levels, first_pid, lseed));
+                    s.spawn(|| self.recurse(root, left_ids, level + 1, levels, first_pid, lseed));
                 let rres = self.recurse(root, right_ids, level + 1, levels, first_pid + half, rseed);
                 (lh.join().expect("left half"), rres)
             })
-            .expect("scoped threads")
         } else {
             (
                 self.recurse(root, left_ids, level + 1, levels, first_pid, lseed),

@@ -3,7 +3,7 @@
 //! re-planned onto replica holders, and application results never change.
 
 use surfer::apps::pagerank::PageRankPropagation;
-use surfer::cluster::{ClusterConfig, Fault, MachineId, SimTime, Topology};
+use surfer::cluster::{ClusterConfig, Fault, SimTime, Topology};
 use surfer::core::{OptimizationLevel, Surfer};
 use surfer::graph::generators::social::{msn_like, MsnScale};
 

@@ -149,13 +149,13 @@ fn machine_graph_matches_topology_bandwidths() {
     // §4.2: the machine graph is the calibrated pair-bandwidth matrix.
     for topo in [Topology::t1(4), Topology::t2(2, 1, 4), Topology::t3(4, SEED)] {
         let mg = topo.machine_graph();
-        for i in 0..4usize {
-            for j in 0..4usize {
+        for (i, row) in mg.iter().enumerate() {
+            for (j, &entry) in row.iter().enumerate() {
                 let f = topo.bandwidth_factor(
                     surfer::cluster::MachineId(i as u16),
                     surfer::cluster::MachineId(j as u16),
                 );
-                assert_eq!(mg[i][j], f, "{} [{i}][{j}]", topo.name());
+                assert_eq!(entry, f, "{} [{i}][{j}]", topo.name());
             }
         }
     }

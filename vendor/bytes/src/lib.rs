@@ -1,0 +1,220 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! a minimal implementation of the subset the adjacency codecs and the
+//! filesystem partition store use: [`BytesMut`] as a growable write buffer,
+//! [`Bytes`] as a frozen read buffer, and the [`Buf`]/[`BufMut`] cursor
+//! traits. Backed by a plain `Vec<u8>` — no refcounted slices, which the
+//! codecs never rely on.
+
+use std::ops::Deref;
+
+/// A readable byte cursor.
+pub trait Buf {
+    /// Bytes left to read.
+    fn remaining(&self) -> usize;
+
+    /// Read the next byte, advancing the cursor.
+    ///
+    /// # Panics
+    /// Panics when no bytes remain.
+    fn get_u8(&mut self) -> u8;
+
+    /// True when at least one byte remains.
+    fn has_remaining(&self) -> bool {
+        self.remaining() > 0
+    }
+
+    /// Read a little-endian `u32`, advancing the cursor.
+    ///
+    /// # Panics
+    /// Panics when fewer than 4 bytes remain.
+    fn get_u32_le(&mut self) -> u32 {
+        u32::from_le_bytes([self.get_u8(), self.get_u8(), self.get_u8(), self.get_u8()])
+    }
+}
+
+impl Buf for &[u8] {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let (first, rest) = self.split_first().expect("buffer exhausted");
+        *self = rest;
+        *first
+    }
+}
+
+/// A writable byte sink.
+pub trait BufMut {
+    /// Append one byte.
+    fn put_u8(&mut self, b: u8);
+
+    /// Append a little-endian `u32`.
+    fn put_u32_le(&mut self, v: u32) {
+        for b in v.to_le_bytes() {
+            self.put_u8(b);
+        }
+    }
+
+    /// Append a byte slice.
+    fn put_slice(&mut self, s: &[u8]) {
+        for &b in s {
+            self.put_u8(b);
+        }
+    }
+}
+
+/// A growable write buffer.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct BytesMut {
+    data: Vec<u8>,
+}
+
+impl BytesMut {
+    /// An empty buffer.
+    pub fn new() -> Self {
+        BytesMut { data: Vec::new() }
+    }
+
+    /// An empty buffer with `cap` bytes reserved.
+    pub fn with_capacity(cap: usize) -> Self {
+        BytesMut { data: Vec::with_capacity(cap) }
+    }
+
+    /// Reserve room for `additional` more bytes.
+    pub fn reserve(&mut self, additional: usize) {
+        self.data.reserve(additional);
+    }
+
+    /// Bytes written so far.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when nothing was written.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Freeze into an immutable [`Bytes`].
+    pub fn freeze(self) -> Bytes {
+        Bytes { data: self.data, pos: 0 }
+    }
+}
+
+impl BufMut for BytesMut {
+    fn put_u8(&mut self, b: u8) {
+        self.data.push(b);
+    }
+
+    fn put_slice(&mut self, s: &[u8]) {
+        self.data.extend_from_slice(s);
+    }
+}
+
+impl Deref for BytesMut {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for BytesMut {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+/// An immutable byte buffer with a read cursor.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Bytes {
+    data: Vec<u8>,
+    pos: usize,
+}
+
+impl Bytes {
+    /// Bytes left (matches upstream semantics where reading consumes the
+    /// front).
+    pub fn len(&self) -> usize {
+        self.data.len() - self.pos
+    }
+
+    /// True when fully consumed (or empty).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Copy a slice into an owned buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes { data: data.to_vec(), pos: 0 }
+    }
+}
+
+impl Buf for Bytes {
+    fn remaining(&self) -> usize {
+        self.len()
+    }
+
+    fn get_u8(&mut self) -> u8 {
+        let b = self.data[self.pos];
+        self.pos += 1;
+        b
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data[self.pos..]
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Self {
+        Bytes { data, pos: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_u32_le() {
+        let mut buf = BytesMut::with_capacity(8);
+        buf.put_u32_le(0xDEAD_BEEF);
+        buf.put_u8(7);
+        assert_eq!(buf.len(), 5);
+        let bytes = buf.freeze();
+        assert_eq!(bytes.len(), 5);
+        let mut slice: &[u8] = &bytes;
+        assert_eq!(slice.get_u32_le(), 0xDEAD_BEEF);
+        assert_eq!(slice.get_u8(), 7);
+        assert!(!slice.has_remaining());
+    }
+
+    #[test]
+    fn bytes_cursor_consumes_front() {
+        let mut b = Bytes::from(vec![1, 2, 3, 4, 5]);
+        assert_eq!(b.get_u8(), 1);
+        assert_eq!(b.len(), 4);
+        assert_eq!(&b[..], &[2, 3, 4, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "buffer exhausted")]
+    fn slice_read_past_end_panics() {
+        let mut s: &[u8] = &[];
+        s.get_u8();
+    }
+}

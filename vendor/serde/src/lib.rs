@@ -1,0 +1,17 @@
+//! Offline stand-in for the `serde` crate.
+//!
+//! The build container has no access to crates.io, so the workspace vendors
+//! this shim. The workspace only *annotates* types with
+//! `#[derive(Serialize, Deserialize)]` — nothing serializes through serde at
+//! runtime (the partition store writes its own adjacency format). The shim
+//! therefore provides the two marker traits and no-op derive macros so the
+//! annotations compile; if a future PR needs real serialization, it should
+//! extend the shim's traits with actual encode/decode methods.
+
+/// Marker for serializable types (no methods — see crate docs).
+pub trait Serialize {}
+
+/// Marker for deserializable types (no methods — see crate docs).
+pub trait Deserialize {}
+
+pub use serde_derive::{Deserialize, Serialize};

@@ -1,0 +1,19 @@
+//! No-op derive macros for the offline `serde` stand-in.
+//!
+//! The workspace uses `#[derive(Serialize, Deserialize)]` purely as an
+//! annotation (nothing serializes through serde at runtime), so these
+//! derives emit no code at all. See the `serde` shim's crate docs.
+
+use proc_macro::TokenStream;
+
+/// Emits nothing: the annotation is accepted, no impl is generated.
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
+
+/// Emits nothing: the annotation is accepted, no impl is generated.
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(_input: TokenStream) -> TokenStream {
+    TokenStream::new()
+}
