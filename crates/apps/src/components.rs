@@ -10,7 +10,7 @@
 
 use crate::ExactOutput;
 use surfer_cluster::ExecReport;
-use surfer_core::{PropagationEngine, Propagation, SurferApp};
+use surfer_core::{Propagation, PropagationEngine, SurferApp, SurferResult};
 use surfer_graph::{CsrGraph, VertexId};
 use surfer_mapreduce::{Emitter, MapReduceEngine, PartitionMapper, Reducer};
 use surfer_partition::PartitionedGraph;
@@ -172,20 +172,20 @@ impl SurferApp for ConnectedComponents {
         "CC"
     }
 
-    fn run_propagation(&self, engine: &PropagationEngine<'_>) -> (ComponentOutput, ExecReport) {
+    fn run_propagation(&self, engine: &PropagationEngine<'_>) -> SurferResult<(ComponentOutput, ExecReport)> {
         let prog = ComponentPropagation;
         let mut state = engine.init_state(&prog);
-        let (report, _iters) = engine.run_until_converged(&prog, &mut state, self.max_iterations);
-        (ComponentOutput { labels: state.into_iter().map(|s| s.label).collect() }, report)
+        let (report, _iters) = engine.run_until_converged(&prog, &mut state, self.max_iterations)?;
+        Ok((ComponentOutput { labels: state.into_iter().map(|s| s.label).collect() }, report))
     }
 
-    fn run_mapreduce(&self, engine: &MapReduceEngine<'_>) -> (ComponentOutput, ExecReport) {
+    fn run_mapreduce(&self, engine: &MapReduceEngine<'_>) -> SurferResult<(ComponentOutput, ExecReport)> {
         let g = engine.graph().graph();
         let mut states: Vec<CcState> =
             g.vertices().map(|v| CcState { label: v.0, changed: true }).collect();
         let mut total = ExecReport::new(engine.cluster().num_machines());
         for _ in 0..self.max_iterations {
-            let run = engine.run(&ComponentMapper { states: &states }, &ComponentReducer);
+            let run = engine.run(&ComponentMapper { states: &states }, &ComponentReducer)?;
             total.absorb(&run.report);
             let mut any_changed = false;
             let mut next = states.clone();
@@ -204,7 +204,7 @@ impl SurferApp for ConnectedComponents {
                 break;
             }
         }
-        (ComponentOutput { labels: states.into_iter().map(|s| s.label).collect() }, total)
+        Ok((ComponentOutput { labels: states.into_iter().map(|s| s.label).collect() }, total))
     }
 }
 
@@ -226,7 +226,7 @@ mod tests {
     fn propagation_matches_reference() {
         let (g, surfer) = surfer_symmetric_fixture(4, 4);
         let app = ConnectedComponents::new();
-        let run = surfer.run(&app);
+        let run = surfer.run(&app).unwrap();
         assert_eq!(run.output, app.reference(&g));
     }
 
@@ -234,7 +234,7 @@ mod tests {
     fn mapreduce_matches_reference() {
         let (g, surfer) = surfer_symmetric_fixture(4, 4);
         let app = ConnectedComponents::new();
-        let run = surfer.run_mapreduce(&app);
+        let run = surfer.run_mapreduce(&app).unwrap();
         assert_eq!(run.output, app.reference(&g));
     }
 
@@ -243,7 +243,7 @@ mod tests {
         // A connected graph of diameter d needs ~d+1 rounds, far below the
         // cap — the quiescence check must kick in (bounded traffic).
         let (_, surfer) = surfer_symmetric_fixture(2, 2);
-        let run = surfer.run(&ConnectedComponents::new());
+        let run = surfer.run(&ConnectedComponents::new()).unwrap();
         // With the 10k cap, a non-quiescent loop would emit astronomically
         // more than this.
         assert!(run.report.tasks_completed < 1000, "{}", run.report.tasks_completed);

@@ -8,7 +8,7 @@
 
 use crate::ExactOutput;
 use surfer_cluster::ExecReport;
-use surfer_core::{PropagationEngine, SurferApp, VirtualVertexTask};
+use surfer_core::{PropagationEngine, SurferApp, SurferResult, VirtualVertexTask};
 use surfer_graph::{CsrGraph, VertexId};
 use surfer_mapreduce::{Emitter, MapReduceEngine, PartitionMapper, Reducer};
 use surfer_partition::PartitionedGraph;
@@ -120,17 +120,17 @@ impl SurferApp for VertexDegreeDistribution {
         "VDD"
     }
 
-    fn run_propagation(&self, engine: &PropagationEngine<'_>) -> (DegreeHistogram, ExecReport) {
-        let (mut outputs, report) = engine.run_virtual(&DegreeVirtualTask);
+    fn run_propagation(&self, engine: &PropagationEngine<'_>) -> SurferResult<(DegreeHistogram, ExecReport)> {
+        let (mut outputs, report) = engine.run_virtual(&DegreeVirtualTask)?;
         outputs.sort_unstable();
-        (DegreeHistogram { entries: outputs }, report)
+        Ok((DegreeHistogram { entries: outputs }, report))
     }
 
-    fn run_mapreduce(&self, engine: &MapReduceEngine<'_>) -> (DegreeHistogram, ExecReport) {
-        let run = engine.run(&DegreeMapper, &DegreeReducer);
+    fn run_mapreduce(&self, engine: &MapReduceEngine<'_>) -> SurferResult<(DegreeHistogram, ExecReport)> {
+        let run = engine.run(&DegreeMapper, &DegreeReducer)?;
         let mut entries = run.outputs;
         entries.sort_unstable();
-        (DegreeHistogram { entries }, run.report)
+        Ok((DegreeHistogram { entries }, run.report))
     }
 }
 
@@ -142,14 +142,14 @@ mod tests {
     #[test]
     fn propagation_matches_reference() {
         let (g, surfer) = surfer_fixture(4, 4);
-        let run = surfer.run(&VertexDegreeDistribution);
+        let run = surfer.run(&VertexDegreeDistribution).unwrap();
         assert_eq!(run.output, VertexDegreeDistribution.reference(&g));
     }
 
     #[test]
     fn mapreduce_matches_reference() {
         let (g, surfer) = surfer_fixture(4, 4);
-        let run = surfer.run_mapreduce(&VertexDegreeDistribution);
+        let run = surfer.run_mapreduce(&VertexDegreeDistribution).unwrap();
         assert_eq!(run.output, VertexDegreeDistribution.reference(&g));
     }
 
@@ -158,8 +158,8 @@ mod tests {
         // §6.4: "Emulating MapReduce in VDD, propagation has a similar
         // performance [to] MapReduce."
         let (_, surfer) = surfer_fixture(4, 4);
-        let prop = surfer.run(&VertexDegreeDistribution);
-        let mr = surfer.run_mapreduce(&VertexDegreeDistribution);
+        let prop = surfer.run(&VertexDegreeDistribution).unwrap();
+        let mr = surfer.run_mapreduce(&VertexDegreeDistribution).unwrap();
         let (a, b) =
             (prop.report.response_time.as_secs_f64(), mr.report.response_time.as_secs_f64());
         assert!((a / b) < 2.0 && (b / a) < 2.0, "VDD should tie: {a} vs {b}");
@@ -168,7 +168,7 @@ mod tests {
     #[test]
     fn histogram_counts_every_vertex() {
         let (g, surfer) = surfer_fixture(2, 2);
-        let run = surfer.run(&VertexDegreeDistribution);
+        let run = surfer.run(&VertexDegreeDistribution).unwrap();
         let total: u64 = run.output.entries.iter().map(|&(_, c)| c).sum();
         assert_eq!(total, g.num_vertices() as u64);
     }

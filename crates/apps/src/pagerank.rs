@@ -9,7 +9,7 @@
 use crate::ExactOutput;
 use std::collections::HashMap;
 use surfer_cluster::ExecReport;
-use surfer_core::{PropagationEngine, Propagation, SurferApp};
+use surfer_core::{Propagation, PropagationEngine, SurferApp, SurferResult};
 use surfer_graph::{CsrGraph, VertexId};
 use surfer_mapreduce::{Emitter, MapReduceEngine, PartitionMapper, Reducer};
 use surfer_partition::PartitionedGraph;
@@ -191,7 +191,7 @@ impl NetworkRanking {
         engine: &PropagationEngine<'_>,
         epsilon: f64,
         max_iterations: u32,
-    ) -> (PageRankOutput, ExecReport, u32) {
+    ) -> SurferResult<(PageRankOutput, ExecReport, u32)> {
         assert!(epsilon > 0.0, "tolerance must be positive");
         let g = engine.graph().graph();
         let prog = PageRankPropagation { damping: self.damping, n: g.num_vertices() as u64 };
@@ -199,14 +199,14 @@ impl NetworkRanking {
         let mut total = ExecReport::new(engine.cluster().num_machines());
         for it in 1..=max_iterations {
             let prev = state.clone();
-            let report = engine.run_iteration(&prog, &mut state);
+            let report = engine.run_iteration(&prog, &mut state)?;
             total.absorb(&report);
             let delta: f64 = state.iter().zip(&prev).map(|(a, b)| (a - b).abs()).sum();
             if delta < epsilon {
-                return (PageRankOutput { ranks: state }, total, it);
+                return Ok((PageRankOutput { ranks: state }, total, it));
             }
         }
-        (PageRankOutput { ranks: state }, total, max_iterations)
+        Ok((PageRankOutput { ranks: state }, total, max_iterations))
     }
 }
 
@@ -219,15 +219,15 @@ impl SurferApp for NetworkRanking {
         "NR"
     }
 
-    fn run_propagation(&self, engine: &PropagationEngine<'_>) -> (PageRankOutput, ExecReport) {
+    fn run_propagation(&self, engine: &PropagationEngine<'_>) -> SurferResult<(PageRankOutput, ExecReport)> {
         let g = engine.graph().graph();
         let prog = PageRankPropagation { damping: self.damping, n: g.num_vertices() as u64 };
         let mut state = engine.init_state(&prog);
-        let report = engine.run(&prog, &mut state, self.iterations);
-        (PageRankOutput { ranks: state }, report)
+        let report = engine.run(&prog, &mut state, self.iterations)?;
+        Ok((PageRankOutput { ranks: state }, report))
     }
 
-    fn run_mapreduce(&self, engine: &MapReduceEngine<'_>) -> (PageRankOutput, ExecReport) {
+    fn run_mapreduce(&self, engine: &MapReduceEngine<'_>) -> SurferResult<(PageRankOutput, ExecReport)> {
         let g = engine.graph().graph();
         let n = g.num_vertices();
         let mut ranks = vec![1.0 / n as f64; n as usize];
@@ -235,7 +235,7 @@ impl SurferApp for NetworkRanking {
         for _ in 0..self.iterations {
             let mapper = PageRankMapper { ranks: &ranks, damping: self.damping };
             let reducer = PageRankReducer { damping: self.damping, n: n as u64 };
-            let run = engine.run(&mapper, &reducer);
+            let run = engine.run(&mapper, &reducer)?;
             let mut next = vec![(1.0 - self.damping) / n as f64; n as usize];
             for (v, r) in run.outputs {
                 next[v as usize] = r;
@@ -243,7 +243,7 @@ impl SurferApp for NetworkRanking {
             ranks = next;
             total.absorb(&run.report);
         }
-        (PageRankOutput { ranks }, total)
+        Ok((PageRankOutput { ranks }, total))
     }
 }
 
@@ -266,7 +266,7 @@ mod tests {
     fn propagation_matches_reference() {
         let (g, surfer) = surfer_fixture(4, 4);
         let app = NetworkRanking::new(3);
-        let run = surfer.run(&app);
+        let run = surfer.run(&app).unwrap();
         let reference = app.reference(&g);
         assert!(run.output.approx_eq(&reference, 1e-12), "propagation diverged from reference");
     }
@@ -275,7 +275,7 @@ mod tests {
     fn mapreduce_matches_reference() {
         let (g, surfer) = surfer_fixture(4, 4);
         let app = NetworkRanking::new(3);
-        let run = surfer.run_mapreduce(&app);
+        let run = surfer.run_mapreduce(&app).unwrap();
         let reference = app.reference(&g);
         assert!(run.output.approx_eq(&reference, 1e-9), "mapreduce diverged from reference");
     }
@@ -284,8 +284,8 @@ mod tests {
     fn propagation_beats_mapreduce_on_network() {
         let (_, surfer) = surfer_fixture(4, 4);
         let app = NetworkRanking::new(2);
-        let prop = surfer.run(&app);
-        let mr = surfer.run_mapreduce(&app);
+        let prop = surfer.run(&app).unwrap();
+        let mr = surfer.run_mapreduce(&app).unwrap();
         assert!(
             prop.report.network_bytes < mr.report.network_bytes,
             "propagation {} bytes vs mapreduce {} bytes",
@@ -299,7 +299,7 @@ mod tests {
         let (g, surfer) = surfer_fixture(4, 4);
         let app = NetworkRanking::new(0);
         let engine = surfer.propagation();
-        let (out, _, iters) = app.run_propagation_to_tolerance(&engine, 1e-6, 200);
+        let (out, _, iters) = app.run_propagation_to_tolerance(&engine, 1e-6, 200).unwrap();
         assert!(iters > 2 && iters < 200, "converged in {iters} iterations");
         // One more iteration barely moves the ranks.
         let more = NetworkRanking::new(iters + 1).reference(&g);
@@ -309,7 +309,7 @@ mod tests {
     #[test]
     fn zero_iterations_is_uniform() {
         let (g, surfer) = surfer_fixture(2, 2);
-        let run = surfer.run(&NetworkRanking::new(0));
+        let run = surfer.run(&NetworkRanking::new(0)).unwrap();
         let expect = 1.0 / g.num_vertices() as f64;
         assert!(run.output.ranks.iter().all(|&r| (r - expect).abs() < 1e-15));
     }

@@ -8,7 +8,7 @@
 
 use crate::ExactOutput;
 use surfer_cluster::ExecReport;
-use surfer_core::{PropagationEngine, Propagation, SurferApp};
+use surfer_core::{Propagation, PropagationEngine, SurferApp, SurferResult};
 use surfer_graph::{CsrGraph, VertexId};
 use surfer_mapreduce::{Emitter, MapReduceEngine, PartitionMapper, Reducer};
 use surfer_partition::PartitionedGraph;
@@ -201,20 +201,20 @@ impl SurferApp for RecommenderSystem {
         "RS"
     }
 
-    fn run_propagation(&self, engine: &PropagationEngine<'_>) -> (RecommenderOutput, ExecReport) {
+    fn run_propagation(&self, engine: &PropagationEngine<'_>) -> SurferResult<(RecommenderOutput, ExecReport)> {
         let prog = RecommendPropagation { app: *self };
         let mut state = engine.init_state(&prog);
-        let report = engine.run(&prog, &mut state, self.iterations);
-        (RecommenderOutput { adopted: state }, report)
+        let report = engine.run(&prog, &mut state, self.iterations)?;
+        Ok((RecommenderOutput { adopted: state }, report))
     }
 
-    fn run_mapreduce(&self, engine: &MapReduceEngine<'_>) -> (RecommenderOutput, ExecReport) {
+    fn run_mapreduce(&self, engine: &MapReduceEngine<'_>) -> SurferResult<(RecommenderOutput, ExecReport)> {
         let g = engine.graph().graph();
         let mut adopted: Vec<bool> = g.vertices().map(|v| self.is_seed(v)).collect();
         let mut total = ExecReport::new(engine.cluster().num_machines());
         for _ in 0..self.iterations {
             let run = engine
-                .run(&RecommendMapper { adopted: &adopted }, &RecommendReducer { app: *self });
+                .run(&RecommendMapper { adopted: &adopted }, &RecommendReducer { app: *self })?;
             for (v, a) in run.outputs {
                 if a {
                     adopted[v as usize] = true;
@@ -222,7 +222,7 @@ impl SurferApp for RecommenderSystem {
             }
             total.absorb(&run.report);
         }
-        (RecommenderOutput { adopted }, total)
+        Ok((RecommenderOutput { adopted }, total))
     }
 }
 
@@ -250,14 +250,14 @@ mod tests {
     #[test]
     fn propagation_matches_reference() {
         let (g, surfer) = surfer_fixture(4, 4);
-        let run = surfer.run(&app());
+        let run = surfer.run(&app()).unwrap();
         assert_eq!(run.output, app().reference(&g));
     }
 
     #[test]
     fn mapreduce_matches_reference() {
         let (g, surfer) = surfer_fixture(4, 4);
-        let run = surfer.run_mapreduce(&app());
+        let run = surfer.run_mapreduce(&app()).unwrap();
         assert_eq!(run.output, app().reference(&g));
     }
 
@@ -266,8 +266,8 @@ mod tests {
         // With associative unit messages, local combination collapses all
         // recommendations from a partition to one message per remote friend.
         let (_, surfer) = surfer_fixture(4, 4);
-        let prop = surfer.run(&app());
-        let mr = surfer.run_mapreduce(&app());
+        let prop = surfer.run(&app()).unwrap();
+        let mr = surfer.run_mapreduce(&app()).unwrap();
         assert!(prop.report.network_bytes < mr.report.network_bytes);
     }
 

@@ -7,7 +7,7 @@
 
 use crate::ExactOutput;
 use surfer_cluster::ExecReport;
-use surfer_core::{PropagationEngine, Propagation, SurferApp};
+use surfer_core::{Propagation, PropagationEngine, SurferApp, SurferResult};
 use surfer_graph::{CsrGraph, GraphBuilder, VertexId};
 use surfer_mapreduce::{Emitter, MapReduceEngine, PartitionMapper, Reducer};
 use surfer_partition::PartitionedGraph;
@@ -146,20 +146,20 @@ impl SurferApp for ReverseLinkGraph {
         "RLG"
     }
 
-    fn run_propagation(&self, engine: &PropagationEngine<'_>) -> (ReversedGraph, ExecReport) {
+    fn run_propagation(&self, engine: &PropagationEngine<'_>) -> SurferResult<(ReversedGraph, ExecReport)> {
         let g = engine.graph().graph();
         let prog = ReversePropagation;
         let mut state = engine.init_state(&prog);
-        let report = engine.run_iteration(&prog, &mut state);
+        let report = engine.run_iteration(&prog, &mut state)?;
         let lists =
             state.into_iter().enumerate().map(|(v, l)| (v as u32, l)).collect();
-        (Self::assemble(g.num_vertices(), lists), report)
+        Ok((Self::assemble(g.num_vertices(), lists), report))
     }
 
-    fn run_mapreduce(&self, engine: &MapReduceEngine<'_>) -> (ReversedGraph, ExecReport) {
+    fn run_mapreduce(&self, engine: &MapReduceEngine<'_>) -> SurferResult<(ReversedGraph, ExecReport)> {
         let g = engine.graph().graph();
-        let run = engine.run(&ReverseMapper, &ReverseReducer);
-        (Self::assemble(g.num_vertices(), run.outputs), run.report)
+        let run = engine.run(&ReverseMapper, &ReverseReducer)?;
+        Ok((Self::assemble(g.num_vertices(), run.outputs), run.report))
     }
 }
 
@@ -171,29 +171,29 @@ mod tests {
     #[test]
     fn propagation_matches_reference() {
         let (g, surfer) = surfer_fixture(4, 4);
-        let run = surfer.run(&ReverseLinkGraph);
+        let run = surfer.run(&ReverseLinkGraph).unwrap();
         assert_eq!(run.output, ReverseLinkGraph.reference(&g));
     }
 
     #[test]
     fn mapreduce_matches_reference() {
         let (g, surfer) = surfer_fixture(4, 4);
-        let run = surfer.run_mapreduce(&ReverseLinkGraph);
+        let run = surfer.run_mapreduce(&ReverseLinkGraph).unwrap();
         assert_eq!(run.output, ReverseLinkGraph.reference(&g));
     }
 
     #[test]
     fn reversal_preserves_edge_count() {
         let (g, surfer) = surfer_fixture(2, 2);
-        let run = surfer.run(&ReverseLinkGraph);
+        let run = surfer.run(&ReverseLinkGraph).unwrap();
         assert_eq!(run.output.graph.num_edges(), g.num_edges());
     }
 
     #[test]
     fn propagation_network_at_most_mapreduce() {
         let (_, surfer) = surfer_fixture(4, 4);
-        let prop = surfer.run(&ReverseLinkGraph);
-        let mr = surfer.run_mapreduce(&ReverseLinkGraph);
+        let prop = surfer.run(&ReverseLinkGraph).unwrap();
+        let mr = surfer.run_mapreduce(&ReverseLinkGraph).unwrap();
         assert!(prop.report.network_bytes < mr.report.network_bytes);
     }
 }

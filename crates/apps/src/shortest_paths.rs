@@ -5,7 +5,7 @@
 
 use crate::ExactOutput;
 use surfer_cluster::ExecReport;
-use surfer_core::{PropagationEngine, Propagation, SurferApp};
+use surfer_core::{Propagation, PropagationEngine, SurferApp, SurferResult};
 use surfer_graph::{CsrGraph, VertexId};
 use surfer_mapreduce::{Emitter, MapReduceEngine, PartitionMapper, Reducer};
 use surfer_partition::PartitionedGraph;
@@ -181,7 +181,7 @@ impl SurferApp for BreadthFirstSearch {
         "BFS"
     }
 
-    fn run_propagation(&self, engine: &PropagationEngine<'_>) -> (BfsOutput, ExecReport) {
+    fn run_propagation(&self, engine: &PropagationEngine<'_>) -> SurferResult<(BfsOutput, ExecReport)> {
         let g = engine.graph().graph();
         let mut is_source = vec![false; g.num_vertices() as usize];
         for &s in &self.sources {
@@ -189,11 +189,11 @@ impl SurferApp for BreadthFirstSearch {
         }
         let prog = BfsPropagation { is_source };
         let mut state = engine.init_state(&prog);
-        let (report, _) = engine.run_until_converged(&prog, &mut state, self.max_iterations);
-        (BfsOutput { dist: state.into_iter().map(|s| s.dist).collect() }, report)
+        let (report, _) = engine.run_until_converged(&prog, &mut state, self.max_iterations)?;
+        Ok((BfsOutput { dist: state.into_iter().map(|s| s.dist).collect() }, report))
     }
 
-    fn run_mapreduce(&self, engine: &MapReduceEngine<'_>) -> (BfsOutput, ExecReport) {
+    fn run_mapreduce(&self, engine: &MapReduceEngine<'_>) -> SurferResult<(BfsOutput, ExecReport)> {
         let g = engine.graph().graph();
         let mut states: Vec<BfsState> = g
             .vertices()
@@ -207,7 +207,7 @@ impl SurferApp for BreadthFirstSearch {
             .collect();
         let mut total = ExecReport::new(engine.cluster().num_machines());
         for _ in 0..self.max_iterations {
-            let run = engine.run(&BfsMapper { states: &states }, &BfsReducer);
+            let run = engine.run(&BfsMapper { states: &states }, &BfsReducer)?;
             total.absorb(&run.report);
             let mut any = false;
             let mut next = states.clone();
@@ -226,7 +226,7 @@ impl SurferApp for BreadthFirstSearch {
                 break;
             }
         }
-        (BfsOutput { dist: states.into_iter().map(|s| s.dist).collect() }, total)
+        Ok((BfsOutput { dist: states.into_iter().map(|s| s.dist).collect() }, total))
     }
 }
 
@@ -248,7 +248,7 @@ mod tests {
     fn propagation_matches_reference() {
         let (g, surfer) = surfer_fixture(4, 4);
         let app = BreadthFirstSearch::from_source(VertexId(0));
-        let run = surfer.run(&app);
+        let run = surfer.run(&app).unwrap();
         assert_eq!(run.output, app.reference(&g));
         assert!(run.output.reached() > 1, "source should reach its community");
     }
@@ -257,7 +257,7 @@ mod tests {
     fn mapreduce_matches_reference() {
         let (g, surfer) = surfer_fixture(4, 4);
         let app = BreadthFirstSearch::from_source(VertexId(0));
-        let run = surfer.run_mapreduce(&app);
+        let run = surfer.run_mapreduce(&app).unwrap();
         assert_eq!(run.output, app.reference(&g));
     }
 

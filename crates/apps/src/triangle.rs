@@ -11,7 +11,7 @@
 
 use crate::ExactOutput;
 use surfer_cluster::ExecReport;
-use surfer_core::{PropagationEngine, Propagation, SurferApp};
+use surfer_core::{Propagation, PropagationEngine, SurferApp, SurferResult};
 use surfer_graph::properties::sorted_intersection_size;
 use surfer_graph::subgraph::sample_vertices;
 use surfer_graph::{CsrGraph, VertexId};
@@ -229,22 +229,22 @@ impl SurferApp for TriangleCounting {
         "TC"
     }
 
-    fn run_propagation(&self, engine: &PropagationEngine<'_>) -> (TriangleCount, ExecReport) {
+    fn run_propagation(&self, engine: &PropagationEngine<'_>) -> SurferResult<(TriangleCount, ExecReport)> {
         let g = engine.graph().graph();
         let prog = TrianglePropagation { selected: self.selection(g) };
         let mut state = engine.init_state(&prog);
-        let report = engine.run_iteration(&prog, &mut state);
-        (TriangleCount { triangles: state.iter().sum() }, report)
+        let report = engine.run_iteration(&prog, &mut state)?;
+        Ok((TriangleCount { triangles: state.iter().sum() }, report))
     }
 
-    fn run_mapreduce(&self, engine: &MapReduceEngine<'_>) -> (TriangleCount, ExecReport) {
+    fn run_mapreduce(&self, engine: &MapReduceEngine<'_>) -> SurferResult<(TriangleCount, ExecReport)> {
         let g = engine.graph().graph();
         let selected = self.selection(g);
         let run = engine.run(
             &TriangleMapper { selected: &selected },
             &TriangleReducer { selected: &selected, graph: g },
-        );
-        (TriangleCount { triangles: run.outputs.iter().sum() }, run.report)
+        )?;
+        Ok((TriangleCount { triangles: run.outputs.iter().sum() }, run.report))
     }
 }
 
@@ -267,7 +267,7 @@ mod tests {
     fn propagation_matches_reference() {
         let (g, surfer) = surfer_fixture(4, 4);
         let app = TriangleCounting::new(FIXTURE_SEED);
-        let run = surfer.run(&app);
+        let run = surfer.run(&app).unwrap();
         assert_eq!(run.output, app.reference(&g));
         assert!(run.output.triangles > 0, "sample found no triangles; enlarge fixture");
     }
@@ -276,7 +276,7 @@ mod tests {
     fn mapreduce_matches_reference() {
         let (g, surfer) = surfer_fixture(4, 4);
         let app = TriangleCounting::new(FIXTURE_SEED);
-        let run = surfer.run_mapreduce(&app);
+        let run = surfer.run_mapreduce(&app).unwrap();
         assert_eq!(run.output, app.reference(&g));
     }
 
@@ -284,7 +284,7 @@ mod tests {
     fn empty_selection_counts_nothing() {
         let (_, surfer) = surfer_fixture(2, 2);
         let app = TriangleCounting { ratio: 0.0, seed: 1 };
-        let run = surfer.run(&app);
+        let run = surfer.run(&app).unwrap();
         assert_eq!(run.output.triangles, 0);
     }
 }

@@ -9,7 +9,7 @@
 
 use crate::ExactOutput;
 use surfer_cluster::ExecReport;
-use surfer_core::{PropagationEngine, Propagation, SurferApp};
+use surfer_core::{Propagation, PropagationEngine, SurferApp, SurferResult};
 use surfer_graph::subgraph::sample_vertices;
 use surfer_graph::{CsrGraph, VertexId};
 use surfer_mapreduce::{Emitter, MapReduceEngine, PartitionMapper, Reducer};
@@ -204,23 +204,23 @@ impl SurferApp for TwoHopFriends {
         "TFL"
     }
 
-    fn run_propagation(&self, engine: &PropagationEngine<'_>) -> (TwoHopOutput, ExecReport) {
+    fn run_propagation(&self, engine: &PropagationEngine<'_>) -> SurferResult<(TwoHopOutput, ExecReport)> {
         let g = engine.graph().graph();
         let prog = TwoHopPropagation { selected: self.selection(g) };
         let mut state = engine.init_state(&prog);
-        let report = engine.run_iteration(&prog, &mut state);
-        (TwoHopOutput { lists: state }, report)
+        let report = engine.run_iteration(&prog, &mut state)?;
+        Ok((TwoHopOutput { lists: state }, report))
     }
 
-    fn run_mapreduce(&self, engine: &MapReduceEngine<'_>) -> (TwoHopOutput, ExecReport) {
+    fn run_mapreduce(&self, engine: &MapReduceEngine<'_>) -> SurferResult<(TwoHopOutput, ExecReport)> {
         let g = engine.graph().graph();
         let selected = self.selection(g);
-        let run = engine.run(&TwoHopMapper { selected: &selected }, &TwoHopReducer);
+        let run = engine.run(&TwoHopMapper { selected: &selected }, &TwoHopReducer)?;
         let mut lists = vec![Vec::new(); g.num_vertices() as usize];
         for (v, l) in run.outputs {
             lists[v as usize] = l;
         }
-        (TwoHopOutput { lists }, run.report)
+        Ok((TwoHopOutput { lists }, run.report))
     }
 }
 
@@ -233,7 +233,7 @@ mod tests {
     fn propagation_matches_reference() {
         let (g, surfer) = surfer_fixture(4, 4);
         let app = TwoHopFriends::new(FIXTURE_SEED);
-        let run = surfer.run(&app);
+        let run = surfer.run(&app).unwrap();
         let reference = app.reference(&g);
         assert_eq!(run.output, reference);
         assert!(run.output.total_pairs() > 0);
@@ -243,7 +243,7 @@ mod tests {
     fn mapreduce_matches_reference() {
         let (g, surfer) = surfer_fixture(4, 4);
         let app = TwoHopFriends::new(FIXTURE_SEED);
-        let run = surfer.run_mapreduce(&app);
+        let run = surfer.run_mapreduce(&app).unwrap();
         assert_eq!(run.output, app.reference(&g));
     }
 
@@ -252,8 +252,8 @@ mod tests {
         // TFL is the paper's local-combination showcase.
         let (_, surfer) = surfer_fixture(4, 4);
         let app = TwoHopFriends::new(FIXTURE_SEED);
-        let prop = surfer.run(&app);
-        let mr = surfer.run_mapreduce(&app);
+        let prop = surfer.run(&app).unwrap();
+        let mr = surfer.run_mapreduce(&app).unwrap();
         assert!(
             (prop.report.network_bytes as f64) < 0.8 * mr.report.network_bytes as f64,
             "expected big reduction: {} vs {}",
@@ -265,7 +265,7 @@ mod tests {
     #[test]
     fn lists_are_sorted_and_distinct() {
         let (_, surfer) = surfer_fixture(2, 2);
-        let run = surfer.run(&TwoHopFriends::new(FIXTURE_SEED));
+        let run = surfer.run(&TwoHopFriends::new(FIXTURE_SEED)).unwrap();
         for l in &run.output.lists {
             assert!(l.windows(2).all(|w| w[0] < w[1]), "list not sorted/distinct");
         }

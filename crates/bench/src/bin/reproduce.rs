@@ -7,12 +7,14 @@
 //! ```
 //!
 //! Subcommands: all, table1, table2, table3, table4, table5, fig6, fig7,
-//! fig9, fig10, fig11, fig12, cascade, bench. Options:
+//! fig9, fig10, fig11, fig12, cascade, bench, chaos. Options:
 //! `--scale tiny|small|medium|large` (default small), `--machines N`
 //! (default 32), `--partitions P` (default 64).
 //!
 //! `bench` measures host wall-clock of the real propagation computation at
 //! worker-thread counts {1, 2, max} and writes `BENCH_propagation.json`.
+//! `chaos` additionally measures checkpoint + crash-recovery overhead and
+//! splices the result into the same JSON document.
 
 use surfer_bench::experiments::*;
 use surfer_bench::{ExpConfig, Workload};
@@ -57,7 +59,7 @@ fn main() {
     let needs_workload = matches!(
         cmd.as_str(),
         "all" | "table1" | "table2" | "table3" | "fig6" | "fig7" | "fig9" | "fig10" | "fig12"
-            | "cascade" | "bench"
+            | "cascade" | "bench" | "chaos"
     );
     let workload = needs_workload.then(|| {
         eprintln!("# generating + partitioning the MSN-like graph ...");
@@ -85,6 +87,22 @@ fn main() {
         "fig11" => println!("{}", fig11::run(cfg.seed).1),
         "fig12" => println!("{}", fig12::run(w.expect("workload")).1),
         "cascade" => println!("{}", cascade::run(w.expect("workload")).1),
+        "chaos" => {
+            let wl = w.expect("workload");
+            let (r, chaos_json) = chaos::run(wl);
+            eprintln!(
+                "# chaos: ckpt overhead {:.1}%, recovery overhead {:.1}%, bit-identical: {}",
+                r.checkpoint_overhead_pct(),
+                r.recovery_overhead_pct(),
+                r.bit_identical
+            );
+            let (_, bench_json) = bench_threads::run(wl, 3);
+            let json = chaos::splice_into(&bench_json, &chaos_json);
+            std::fs::write("BENCH_propagation.json", &json)
+                .unwrap_or_else(|e| die(&format!("writing BENCH_propagation.json: {e}")));
+            eprintln!("# wrote BENCH_propagation.json (with chaos entry)");
+            println!("{json}");
+        }
         "bench" => {
             let (results, json) = bench_threads::run(w.expect("workload"), 3);
             for r in &results {
@@ -103,7 +121,7 @@ fn main() {
             println!("{}", ablation::run_locality(&cfg).1);
         }
         other => die(&format!(
-            "unknown experiment '{other}' (all|table1..table5|fig6|fig7|fig9|fig10|fig11|fig12|cascade|ablation|bench)"
+            "unknown experiment '{other}' (all|table1..table5|fig6|fig7|fig9|fig10|fig11|fig12|cascade|ablation|bench|chaos)"
         )),
     };
 

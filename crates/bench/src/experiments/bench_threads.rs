@@ -62,7 +62,7 @@ pub fn run(w: &Workload, iterations: u32) -> (Vec<ThreadResult>, String) {
         let mut messages = 0u64;
         let start = Instant::now();
         for _ in 0..iterations {
-            let (_, m) = engine.run_iteration_counted(&prog, &mut state);
+            let (_, m) = engine.run_iteration_counted(&prog, &mut state).unwrap();
             messages += m;
         }
         let wall_ms = start.elapsed().as_secs_f64() * 1e3;

@@ -32,9 +32,9 @@ pub fn run(w: &Workload) -> (Vec<CascadePoint>, String) {
     let mut points = Vec::new();
     for iterations in [3u32, 6] {
         let mut s1 = engine.init_state(&prog);
-        let naive = engine.run(&prog, &mut s1, iterations);
+        let naive = engine.run(&prog, &mut s1, iterations).unwrap();
         let mut s2 = engine.init_state(&prog);
-        let (casc, _) = run_cascaded(&engine, &prog, &mut s2, iterations);
+        let (casc, _) = run_cascaded(&engine, &prog, &mut s2, iterations).unwrap();
         assert_eq!(s1, s2, "cascading must not change results");
         points.push(CascadePoint {
             iterations,

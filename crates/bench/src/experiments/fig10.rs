@@ -34,7 +34,7 @@ pub fn run(w: &Workload) -> (Fig10Result, String) {
     let prog = PageRankPropagation { damping: 0.85, n: g.num_vertices() as u64 };
 
     let mut state = engine.init_state(&prog);
-    let normal = engine.run_iteration(&prog, &mut state);
+    let normal = engine.run_iteration(&prog, &mut state).unwrap();
     let normal_secs = normal.response_time.as_secs_f64();
 
     // Kill the machine hosting partition 0 at 35% of the normal runtime.
@@ -45,7 +45,8 @@ pub fn run(w: &Workload) -> (Fig10Result, String) {
         &prog,
         &mut state2,
         &[Fault { machine: victim, at: SimTime::from_secs_f64(kill_at) }],
-    );
+    )
+    .unwrap();
 
     assert_eq!(state, state2, "fault recovery must not change application results");
 

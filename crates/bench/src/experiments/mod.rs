@@ -8,6 +8,7 @@
 pub mod ablation;
 pub mod bench_threads;
 pub mod cascade;
+pub mod chaos;
 pub mod fig10;
 pub mod fig11;
 pub mod fig12;

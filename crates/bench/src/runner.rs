@@ -54,24 +54,24 @@ impl AppId {
 /// test suite).
 pub fn run_propagation(surfer: &Surfer, app: AppId) -> ExecReport {
     match app {
-        AppId::Vdd => surfer.run(&VertexDegreeDistribution).report,
-        AppId::Rs => surfer.run(&RecommenderSystem::new(RS_ITERATIONS, APP_SEED)).report,
-        AppId::Nr => surfer.run(&NetworkRanking::new(NR_ITERATIONS)).report,
-        AppId::Rlg => surfer.run(&ReverseLinkGraph).report,
-        AppId::Tc => surfer.run(&TriangleCounting::new(APP_SEED)).report,
-        AppId::Tfl => surfer.run(&TwoHopFriends::new(APP_SEED)).report,
+        AppId::Vdd => surfer.run(&VertexDegreeDistribution).unwrap().report,
+        AppId::Rs => surfer.run(&RecommenderSystem::new(RS_ITERATIONS, APP_SEED)).unwrap().report,
+        AppId::Nr => surfer.run(&NetworkRanking::new(NR_ITERATIONS)).unwrap().report,
+        AppId::Rlg => surfer.run(&ReverseLinkGraph).unwrap().report,
+        AppId::Tc => surfer.run(&TriangleCounting::new(APP_SEED)).unwrap().report,
+        AppId::Tfl => surfer.run(&TwoHopFriends::new(APP_SEED)).unwrap().report,
     }
 }
 
 /// Run one application with the MapReduce primitive.
 pub fn run_mapreduce(surfer: &Surfer, app: AppId) -> ExecReport {
     match app {
-        AppId::Vdd => surfer.run_mapreduce(&VertexDegreeDistribution).report,
-        AppId::Rs => surfer.run_mapreduce(&RecommenderSystem::new(RS_ITERATIONS, APP_SEED)).report,
-        AppId::Nr => surfer.run_mapreduce(&NetworkRanking::new(NR_ITERATIONS)).report,
-        AppId::Rlg => surfer.run_mapreduce(&ReverseLinkGraph).report,
-        AppId::Tc => surfer.run_mapreduce(&TriangleCounting::new(APP_SEED)).report,
-        AppId::Tfl => surfer.run_mapreduce(&TwoHopFriends::new(APP_SEED)).report,
+        AppId::Vdd => surfer.run_mapreduce(&VertexDegreeDistribution).unwrap().report,
+        AppId::Rs => surfer.run_mapreduce(&RecommenderSystem::new(RS_ITERATIONS, APP_SEED)).unwrap().report,
+        AppId::Nr => surfer.run_mapreduce(&NetworkRanking::new(NR_ITERATIONS)).unwrap().report,
+        AppId::Rlg => surfer.run_mapreduce(&ReverseLinkGraph).unwrap().report,
+        AppId::Tc => surfer.run_mapreduce(&TriangleCounting::new(APP_SEED)).unwrap().report,
+        AppId::Tfl => surfer.run_mapreduce(&TwoHopFriends::new(APP_SEED)).unwrap().report,
     }
 }
 

@@ -48,9 +48,27 @@ pub enum TaskKind {
     Reduce,
     /// A bisection step of distributed partitioning.
     Partition,
+    /// Writing a per-partition state snapshot (fault tolerance).
+    Checkpoint,
+    /// Reloading a per-partition state snapshot after a failure.
+    Restore,
     /// Anything else.
     Generic,
 }
+
+/// Every machine of the cluster has failed: no replica can take over, the
+/// job cannot make progress. The typed replacement for the old
+/// divide-by-zero / assertion panics on the recovery path.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ClusterLost;
+
+impl std::fmt::Display for ClusterLost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "all machines failed; no alive replica can take over the job")
+    }
+}
+
+impl std::error::Error for ClusterLost {}
 
 /// Description of one task.
 #[derive(Debug, Clone)]
@@ -144,8 +162,10 @@ pub struct ReassignRequest<'a> {
 /// this to respect data placement (e.g. move a Transfer task to a machine
 /// holding a replica of its partition).
 pub trait Replanner {
-    /// Pick the replacement machine; must be one of `req.alive`.
-    fn reassign(&mut self, req: ReassignRequest<'_>) -> MachineId;
+    /// Pick the replacement machine; must be one of `req.alive`. Returns
+    /// [`ClusterLost`] when no machine can take the task over (in practice:
+    /// `req.alive` is empty).
+    fn reassign(&mut self, req: ReassignRequest<'_>) -> Result<MachineId, ClusterLost>;
 }
 
 /// Replanner that spreads affected tasks over alive machines round-robin —
@@ -157,10 +177,13 @@ pub struct RoundRobinReplanner {
 }
 
 impl Replanner for RoundRobinReplanner {
-    fn reassign(&mut self, req: ReassignRequest<'_>) -> MachineId {
+    fn reassign(&mut self, req: ReassignRequest<'_>) -> Result<MachineId, ClusterLost> {
+        if req.alive.is_empty() {
+            return Err(ClusterLost);
+        }
         let m = req.alive[self.next % req.alive.len()];
         self.next += 1;
-        m
+        Ok(m)
     }
 }
 
@@ -273,11 +296,18 @@ impl<'c> Executor<'c> {
     /// Run to completion without faults.
     pub fn run(self) -> ExecReport {
         self.run_with_faults(&[], &mut RoundRobinReplanner::default())
+            .expect("a fault-free run cannot lose the cluster")
     }
 
     /// Run to completion with injected machine failures, consulting
-    /// `replanner` for every task stranded on a dead machine.
-    pub fn run_with_faults(mut self, faults: &[Fault], replanner: &mut dyn Replanner) -> ExecReport {
+    /// `replanner` for every task stranded on a dead machine. Returns
+    /// [`ClusterLost`] when every machine has failed before the job
+    /// finished.
+    pub fn run_with_faults(
+        mut self,
+        faults: &[Fault],
+        replanner: &mut dyn Replanner,
+    ) -> Result<ExecReport, ClusterLost> {
         let n = self.cluster.num_machines();
         let mut report = ExecReport::new(n);
         let mut machines: Vec<MachineState> = (0..n)
@@ -438,7 +468,9 @@ impl<'c> Executor<'c> {
                         .map(MachineId)
                         .filter(|m| machines[m.index()].alive)
                         .collect();
-                    assert!(!alive.is_empty(), "every machine failed; job cannot complete");
+                    if alive.is_empty() {
+                        return Err(ClusterLost);
+                    }
                     let affected: Vec<TaskId> = (0..self.tasks.len())
                         .filter(|&id| {
                             self.tasks[id].state == TaskState::Failed
@@ -452,7 +484,7 @@ impl<'c> Executor<'c> {
                             kind: self.tasks[id].spec.kind,
                             label: self.tasks[id].spec.label,
                             alive: &alive,
-                        });
+                        })?;
                         assert!(
                             machines[new_m.index()].alive,
                             "replanner chose dead machine {new_m}"
@@ -525,7 +557,7 @@ impl<'c> Executor<'c> {
             self.tasks.len()
         );
         report.response_time = end_time - SimTime::ZERO;
-        report
+        Ok(report)
     }
 
     /// Decrement `task`'s pending count; enqueue + dispatch when it hits zero.
@@ -734,7 +766,7 @@ mod tests {
         let b = ex.add_task(TaskSpec::new(MachineId(1), TaskKind::Combine).cpu(50e6));
         ex.add_dep(a, b);
         let faults = [Fault { machine: MachineId(1), at: SimTime::ZERO }];
-        let r = ex.run_with_faults(&faults, &mut RoundRobinReplanner::default());
+        let r = ex.run_with_faults(&faults, &mut RoundRobinReplanner::default()).unwrap();
         assert_eq!(r.tasks_recovered, 2);
         assert_eq!(r.tasks_completed, 2);
         // 0.5s detection + 2s serial work on machine 0.
@@ -756,12 +788,12 @@ mod tests {
         ex.add_transfer(a, b, 125_000_000);
         struct ToMachine2;
         impl Replanner for ToMachine2 {
-            fn reassign(&mut self, _req: ReassignRequest<'_>) -> MachineId {
-                MachineId(2)
+            fn reassign(&mut self, _req: ReassignRequest<'_>) -> Result<MachineId, ClusterLost> {
+                Ok(MachineId(2))
             }
         }
         let faults = [Fault { machine: MachineId(1), at: SimTime::from_secs_f64(2.5) }];
-        let r = ex.run_with_faults(&faults, &mut ToMachine2);
+        let r = ex.run_with_faults(&faults, &mut ToMachine2).unwrap();
         assert_eq!(r.tasks_recovered, 1);
         // Bytes counted twice: original + re-transfer.
         assert_eq!(r.network_bytes, 250_000_000);

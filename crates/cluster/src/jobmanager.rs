@@ -7,7 +7,7 @@
 //! re-executing (the executor handles the re-transfer mechanics; the policy
 //! here picks the machine).
 
-use crate::exec::{ReassignRequest, Replanner};
+use crate::exec::{ClusterLost, ReassignRequest, Replanner};
 use crate::machine::MachineId;
 use crate::storage::PartitionStore;
 
@@ -30,16 +30,20 @@ impl<'a> StoreReplanner<'a> {
 }
 
 impl Replanner for StoreReplanner<'_> {
-    fn reassign(&mut self, req: ReassignRequest<'_>) -> MachineId {
+    fn reassign(&mut self, req: ReassignRequest<'_>) -> Result<MachineId, ClusterLost> {
+        if req.alive.is_empty() {
+            // Every machine is down: there is nowhere to re-queue the task.
+            return Err(ClusterLost);
+        }
         let pid = req.label as u32;
         if pid < self.store.num_partitions() {
             if let Some(m) = self.store.failover(pid, req.alive) {
-                return m;
+                return Ok(m);
             }
         }
         let m = req.alive[self.fallback % req.alive.len()];
         self.fallback += 1;
-        m
+        Ok(m)
     }
 }
 
@@ -56,13 +60,15 @@ mod tests {
         let store = PartitionStore::from_assignment(&t, &assignment);
         let mut rp = StoreReplanner::new(&store);
         let alive: Vec<MachineId> = [0, 2, 3].into_iter().map(MachineId).collect();
-        let m = rp.reassign(ReassignRequest {
-            task: 0,
-            failed: MachineId(1),
-            kind: TaskKind::Transfer,
-            label: 1, // partition 1 lived on m1
-            alive: &alive,
-        });
+        let m = rp
+            .reassign(ReassignRequest {
+                task: 0,
+                failed: MachineId(1),
+                kind: TaskKind::Transfer,
+                label: 1, // partition 1 lived on m1
+                alive: &alive,
+            })
+            .unwrap();
         assert!(store.replicas(1).contains(m), "chose {m}, not a replica holder");
         assert_ne!(m, MachineId(1));
     }
@@ -73,20 +79,39 @@ mod tests {
         let store = PartitionStore::from_assignment(&t, &[MachineId(0)]);
         let mut rp = StoreReplanner::new(&store);
         let alive = vec![MachineId(0), MachineId(1)];
-        let m1 = rp.reassign(ReassignRequest {
-            task: 0,
-            failed: MachineId(1),
-            kind: TaskKind::Generic,
-            label: 999,
-            alive: &alive,
-        });
-        let m2 = rp.reassign(ReassignRequest {
-            task: 1,
-            failed: MachineId(1),
-            kind: TaskKind::Generic,
-            label: 999,
-            alive: &alive,
-        });
+        let m1 = rp
+            .reassign(ReassignRequest {
+                task: 0,
+                failed: MachineId(1),
+                kind: TaskKind::Generic,
+                label: 999,
+                alive: &alive,
+            })
+            .unwrap();
+        let m2 = rp
+            .reassign(ReassignRequest {
+                task: 1,
+                failed: MachineId(1),
+                kind: TaskKind::Generic,
+                label: 999,
+                alive: &alive,
+            })
+            .unwrap();
         assert_ne!(m1, m2, "round-robin should alternate");
+    }
+
+    #[test]
+    fn empty_alive_set_is_a_typed_error_not_a_panic() {
+        let t = Topology::t1(2);
+        let store = PartitionStore::from_assignment(&t, &[MachineId(0)]);
+        let mut rp = StoreReplanner::new(&store);
+        let err = rp.reassign(ReassignRequest {
+            task: 0,
+            failed: MachineId(0),
+            kind: TaskKind::Transfer,
+            label: 0,
+            alive: &[],
+        });
+        assert_eq!(err, Err(ClusterLost));
     }
 }

@@ -23,6 +23,7 @@
 
 pub mod cluster;
 pub mod exec;
+pub mod fault;
 pub mod jobmanager;
 pub mod machine;
 pub mod metrics;
@@ -35,10 +36,12 @@ pub mod trace;
 
 pub use cluster::{ClusterConfig, SimCluster};
 pub use exec::{
-    Executor, Fault, ReassignRequest, Replanner, RoundRobinReplanner, TaskId, TaskKind, TaskSpec,
-    TransferId,
+    ClusterLost, Executor, Fault, ReassignRequest, Replanner, RoundRobinReplanner, TaskId,
+    TaskKind, TaskSpec, TransferId,
 };
+pub use fault::{FaultPlan, MachineCrash, SnapshotCorruption, UdfPanicAt};
 pub use jobmanager::StoreReplanner;
+pub use par::{par_map_indexed, par_map_vec, resolve_threads, try_par_map_vec, WorkerPanic};
 pub use machine::{MachineId, MachineSpec};
 pub use metrics::{ExecReport, TaskTrace, TimeSeries};
 pub use trace::{render_gantt, utilization};

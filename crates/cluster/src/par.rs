@@ -12,6 +12,51 @@
 //!
 //! `threads == 1` runs inline on the calling thread — no spawn, exactly the
 //! legacy sequential execution.
+//!
+//! # Panic isolation
+//!
+//! User-defined functions (`transfer`, `combine`, `map`, `reduce`) run
+//! inside these workers. [`try_par_map_vec`] wraps every item in
+//! [`std::panic::catch_unwind`], so one poisoned item fails the *batch*
+//! with a typed [`WorkerPanic`] naming the item (= partition) instead of
+//! aborting the whole process. Every item is still attempted — even after
+//! one fails — so the set of side effects (e.g. fault-injection bookkeeping)
+//! and the reported item (the smallest failing index) are identical for any
+//! thread count.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// A user function panicked inside a worker.
+///
+/// `index` is the position of the failing item in the input vector — for the
+/// engines' per-partition stages that is exactly the partition id (or the
+/// reducer machine id).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WorkerPanic {
+    /// Index of the item whose closure panicked (smallest, if several did).
+    pub index: usize,
+    /// The panic payload, rendered to text when it was a string.
+    pub message: String,
+}
+
+impl std::fmt::Display for WorkerPanic {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "worker panicked on item {}: {}", self.index, self.message)
+    }
+}
+
+impl std::error::Error for WorkerPanic {}
+
+/// Render a `catch_unwind` payload.
+fn payload_message(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
 
 /// Resolve a thread-count knob: `0` means "one worker per available core".
 pub fn resolve_threads(threads: usize) -> usize {
@@ -28,15 +73,55 @@ pub fn resolve_threads(threads: usize) -> usize {
 /// often skewed; striding spreads neighboring — similarly sized —
 /// partitions across workers). `f` receives `(index, item)` so callers can
 /// use the original partition id.
+///
+/// A panicking closure panics the calling thread with the worker's message.
+/// Engine stages that run *user* code should prefer [`try_par_map_vec`].
 pub fn par_map_vec<I, T, F>(threads: usize, items: Vec<I>, f: F) -> Vec<T>
 where
     I: Send,
     T: Send,
     F: Fn(usize, I) -> T + Sync,
 {
+    match try_par_map_vec(threads, items, f) {
+        Ok(out) => out,
+        Err(e) => panic!("{e}"),
+    }
+}
+
+/// [`par_map_vec`] with panic capture: a panic in `f` surfaces as a
+/// [`WorkerPanic`] for the smallest failing item index, instead of tearing
+/// down the process.
+///
+/// All items are attempted regardless of earlier failures, so `f`'s side
+/// effects are the same whether the batch runs on one thread or many.
+pub fn try_par_map_vec<I, T, F>(threads: usize, items: Vec<I>, f: F) -> Result<Vec<T>, WorkerPanic>
+where
+    I: Send,
+    T: Send,
+    F: Fn(usize, I) -> T + Sync,
+{
+    let run_one = |i: usize, item: I| -> Result<T, WorkerPanic> {
+        catch_unwind(AssertUnwindSafe(|| f(i, item)))
+            .map_err(|p| WorkerPanic { index: i, message: payload_message(p) })
+    };
+
     let threads = resolve_threads(threads).min(items.len().max(1));
     if threads <= 1 {
-        return items.into_iter().enumerate().map(|(i, item)| f(i, item)).collect();
+        let mut out = Vec::with_capacity(items.len());
+        let mut failure: Option<WorkerPanic> = None;
+        for (i, item) in items.into_iter().enumerate() {
+            match run_one(i, item) {
+                Ok(v) => out.push(v),
+                Err(e) => failure = Some(match failure.take() {
+                    Some(prev) if prev.index < e.index => prev,
+                    _ => e,
+                }),
+            }
+        }
+        return match failure {
+            None => Ok(out),
+            Some(e) => Err(e),
+        };
     }
 
     // Deal items round-robin, remembering each one's origin index.
@@ -46,25 +131,44 @@ where
     }
 
     let mut slots: Vec<Option<T>> = Vec::new();
+    let mut failure: Option<WorkerPanic> = None;
     std::thread::scope(|s| {
         let handles: Vec<_> = queues
             .into_iter()
             .map(|queue| {
                 s.spawn(|| {
-                    queue.into_iter().map(|(i, item)| (i, f(i, item))).collect::<Vec<_>>()
+                    queue
+                        .into_iter()
+                        .map(|(i, item)| (i, run_one(i, item)))
+                        .collect::<Vec<_>>()
                 })
             })
             .collect();
         for h in handles {
-            for (i, out) in h.join().expect("worker thread panicked") {
-                if i >= slots.len() {
-                    slots.resize_with(i + 1, || None);
+            // Workers never unwind (panics are caught per item); a join
+            // failure would be a harness bug, not a user one.
+            for (i, out) in h.join().expect("worker harness panicked") {
+                match out {
+                    Ok(v) => {
+                        if i >= slots.len() {
+                            slots.resize_with(i + 1, || None);
+                        }
+                        slots[i] = Some(v);
+                    }
+                    Err(e) => {
+                        failure = Some(match failure.take() {
+                            Some(prev) if prev.index < e.index => prev,
+                            _ => e,
+                        });
+                    }
                 }
-                slots[i] = Some(out);
             }
         }
     });
-    slots.into_iter().map(|slot| slot.expect("every item produces an output")).collect()
+    if let Some(e) = failure {
+        return Err(e);
+    }
+    Ok(slots.into_iter().map(|slot| slot.expect("every item produces an output")).collect())
 }
 
 /// [`par_map_vec`] over the index range `0..count` — for stages whose work
@@ -119,5 +223,50 @@ mod tests {
     fn empty_input_is_fine() {
         let out: Vec<u32> = par_map_vec(4, Vec::<u32>::new(), |_, x| x);
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn panic_surfaces_as_typed_error_at_every_thread_count() {
+        for t in [1, 2, 4, 16] {
+            let err = try_par_map_vec(t, (0..20u32).collect(), |_, x| {
+                if x == 7 {
+                    panic!("poisoned vertex function");
+                }
+                x * 2
+            })
+            .unwrap_err();
+            assert_eq!(err.index, 7, "threads = {t}");
+            assert!(err.message.contains("poisoned"), "threads = {t}: {}", err.message);
+        }
+    }
+
+    #[test]
+    fn smallest_failing_index_wins_deterministically() {
+        for t in [1, 2, 3, 8] {
+            let err = try_par_map_vec(t, (0..20u32).collect(), |_, x| {
+                if x % 5 == 3 {
+                    panic!("boom {x}");
+                }
+                x
+            })
+            .unwrap_err();
+            assert_eq!(err.index, 3, "threads = {t}");
+            assert!(err.message.contains("boom 3"));
+        }
+    }
+
+    #[test]
+    fn all_items_still_attempted_after_a_panic() {
+        for t in [1, 4] {
+            let count = AtomicUsize::new(0);
+            let _ = try_par_map_vec(t, (0..50u32).collect(), |_, x| {
+                count.fetch_add(1, Ordering::Relaxed);
+                if x == 0 {
+                    panic!("early failure");
+                }
+                x
+            });
+            assert_eq!(count.load(Ordering::Relaxed), 50, "threads = {t}");
+        }
     }
 }

@@ -17,6 +17,8 @@ pub fn kind_glyph(kind: TaskKind) -> char {
         TaskKind::Map => 'M',
         TaskKind::Reduce => 'R',
         TaskKind::Partition => 'P',
+        TaskKind::Checkpoint => 'S',
+        TaskKind::Restore => 'L',
         TaskKind::Generic => '#',
     }
 }

@@ -124,7 +124,7 @@ proptest! {
         let fail_m = fail_m % machines;
         let ex = build(&cluster, &dag);
         let faults = [Fault { machine: MachineId(fail_m), at: SimTime(at_ms * 1000) }];
-        let r = ex.run_with_faults(&faults, &mut RoundRobinReplanner::default());
+        let r = ex.run_with_faults(&faults, &mut RoundRobinReplanner::default()).unwrap();
         // Completion count: every task ran (recovered tasks may run twice,
         // but tasks_completed counts final completions only once each).
         prop_assert_eq!(r.tasks_completed as usize, dag.tasks.len());

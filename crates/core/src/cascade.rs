@@ -17,6 +17,7 @@
 //! and `depth = ∞ ⇔ v ∈ V_inf`.
 
 use crate::engine::PropagationEngine;
+use crate::error::SurferResult;
 use crate::primitive::Propagation;
 use std::collections::VecDeque;
 use surfer_cluster::ExecReport;
@@ -136,7 +137,7 @@ pub fn run_cascaded<P: Propagation>(
     prog: &P,
     state: &mut [P::State],
     iterations: u32,
-) -> (ExecReport, CascadeAnalysis) {
+) -> SurferResult<(ExecReport, CascadeAnalysis)> {
     let pg = engine.graph();
     let analysis = CascadeAnalysis::analyze(pg);
     let mut total = ExecReport::new(engine.cluster().num_machines());
@@ -150,10 +151,10 @@ pub fn run_cascaded<P: Propagation>(
                 .map(|pid| 1.0 - analysis.cascadable_byte_fraction(pg, pid, pos))
                 .collect()
         };
-        let r = engine.run_iteration_discounted(prog, state, Some(&frac));
+        let r = engine.run_iteration_discounted(prog, state, Some(&frac))?;
         total.absorb(&r);
     }
-    (total, analysis)
+    Ok((total, analysis))
 }
 
 #[cfg(test)]
@@ -252,10 +253,11 @@ mod tests {
 
         let prog = Forward;
         let mut naive_state = engine.init_state(&prog);
-        let naive_report = engine.run(&prog, &mut naive_state, 4);
+        let naive_report = engine.run(&prog, &mut naive_state, 4).unwrap();
 
         let mut casc_state = engine.init_state(&prog);
-        let (casc_report, analysis) = run_cascaded(&engine, &prog, &mut casc_state, 4);
+        let (casc_report, analysis) =
+            run_cascaded(&engine, &prog, &mut casc_state, 4).unwrap();
 
         assert_eq!(naive_state, casc_state, "cascading must not change results");
         assert!(analysis.d_min >= 2, "chain halves should have diameter >= 2");

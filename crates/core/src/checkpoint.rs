@@ -1,0 +1,737 @@
+//! Checkpoint/restore for the real execution path.
+//!
+//! Every `checkpoint_interval` iterations the driver snapshots each
+//! partition's vertex states into a CRC32-framed file
+//! (`<dir>/m<machine>/part-<pid>.ckpt`, see
+//! [`surfer_partition::write_snapshot`]) on every alive machine of the
+//! partition's GFS-style replica set. When a machine fail-stops, the driver
+//! rolls the job back to the last checkpoint: each partition's snapshot is
+//! read from the first replica that is alive *and* passes its checksum,
+//! partitions homed on dead machines are re-homed to a surviving replica
+//! holder, the lost tail of iterations is recomputed, and the interrupted
+//! iteration re-runs with the failure injected into the simulated executor —
+//! so the [`ExecReport`] is charged for failure detection, state
+//! re-transfer, and re-execution, exactly like the simulated-only path of
+//! Figure 10.
+//!
+//! Faults come from a declarative [`FaultPlan`]; because every injection
+//! point is pinned to an iteration (and the engines are bit-deterministic
+//! for any thread count), a recovered run finishes with vertex states
+//! **bit-identical** to a fault-free run of the same job.
+
+use crate::engine::{EngineOptions, PropagationEngine};
+use crate::error::{SurferError, SurferResult};
+use crate::primitive::Propagation;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::sync::Mutex;
+use surfer_cluster::{
+    ExecReport, Executor, Fault, FaultPlan, MachineId, PartitionStore, SimCluster, SimTime,
+    TaskKind, TaskSpec,
+};
+use surfer_graph::{CsrGraph, GraphError, VertexId};
+use surfer_partition::{read_snapshot, write_snapshot, PartitionedGraph};
+
+/// Fixed-layout binary serialization for per-vertex state, so snapshots
+/// round-trip bit-exactly (little-endian throughout, matching the snapshot
+/// container's framing).
+pub trait Checkpointable: Sized {
+    /// Append this value's encoding to `out`.
+    fn write_to(&self, out: &mut Vec<u8>);
+    /// Decode one value from the front of `buf`, advancing it. `None` means
+    /// the buffer is truncated or malformed.
+    fn read_from(buf: &mut &[u8]) -> Option<Self>;
+}
+
+macro_rules! checkpointable_scalar {
+    ($($t:ty),*) => {$(
+        impl Checkpointable for $t {
+            fn write_to(&self, out: &mut Vec<u8>) {
+                out.extend_from_slice(&self.to_le_bytes());
+            }
+            fn read_from(buf: &mut &[u8]) -> Option<Self> {
+                const N: usize = std::mem::size_of::<$t>();
+                let (head, tail) = buf.split_at_checked(N)?;
+                *buf = tail;
+                Some(<$t>::from_le_bytes(head.try_into().unwrap()))
+            }
+        }
+    )*};
+}
+checkpointable_scalar!(u8, u16, u32, u64, i8, i16, i32, i64, f32, f64);
+
+impl Checkpointable for bool {
+    fn write_to(&self, out: &mut Vec<u8>) {
+        out.push(*self as u8);
+    }
+    fn read_from(buf: &mut &[u8]) -> Option<Self> {
+        u8::read_from(buf).map(|b| b != 0)
+    }
+}
+
+impl<A: Checkpointable, B: Checkpointable> Checkpointable for (A, B) {
+    fn write_to(&self, out: &mut Vec<u8>) {
+        self.0.write_to(out);
+        self.1.write_to(out);
+    }
+    fn read_from(buf: &mut &[u8]) -> Option<Self> {
+        Some((A::read_from(buf)?, B::read_from(buf)?))
+    }
+}
+
+impl<A: Checkpointable, B: Checkpointable, C: Checkpointable> Checkpointable for (A, B, C) {
+    fn write_to(&self, out: &mut Vec<u8>) {
+        self.0.write_to(out);
+        self.1.write_to(out);
+        self.2.write_to(out);
+    }
+    fn read_from(buf: &mut &[u8]) -> Option<Self> {
+        Some((A::read_from(buf)?, B::read_from(buf)?, C::read_from(buf)?))
+    }
+}
+
+impl<T: Checkpointable> Checkpointable for Option<T> {
+    fn write_to(&self, out: &mut Vec<u8>) {
+        match self {
+            None => out.push(0),
+            Some(v) => {
+                out.push(1);
+                v.write_to(out);
+            }
+        }
+    }
+    fn read_from(buf: &mut &[u8]) -> Option<Self> {
+        match u8::read_from(buf)? {
+            0 => Some(None),
+            1 => Some(Some(T::read_from(buf)?)),
+            _ => None,
+        }
+    }
+}
+
+impl<T: Checkpointable> Checkpointable for Vec<T> {
+    fn write_to(&self, out: &mut Vec<u8>) {
+        (self.len() as u64).write_to(out);
+        for v in self {
+            v.write_to(out);
+        }
+    }
+    fn read_from(buf: &mut &[u8]) -> Option<Self> {
+        let n = u64::read_from(buf)?;
+        // Guard against absurd lengths from damaged buffers: each element
+        // takes at least one byte.
+        if n > buf.len() as u64 {
+            return None;
+        }
+        let mut v = Vec::with_capacity(n as usize);
+        for _ in 0..n {
+            v.push(T::read_from(buf)?);
+        }
+        Some(v)
+    }
+}
+
+/// Knobs for [`run_with_recovery`].
+#[derive(Debug, Clone)]
+pub struct RecoveryConfig {
+    /// Snapshot every this-many iterations (checkpoint 0 is always written
+    /// before the first iteration). Must be >= 1.
+    pub checkpoint_interval: u32,
+    /// Root directory for snapshot files; one `m<id>` subdirectory per
+    /// machine stands in for that machine's local disk.
+    pub dir: PathBuf,
+    /// How many times a failed iteration is retried after a UDF panic
+    /// before the job gives up with [`SurferError::RetriesExhausted`].
+    pub max_udf_retries: u32,
+}
+
+impl RecoveryConfig {
+    /// Checkpoint every `interval` iterations under `dir`, with 3 retries.
+    pub fn new(interval: u32, dir: impl Into<PathBuf>) -> Self {
+        assert!(interval >= 1, "checkpoint interval must be at least 1");
+        RecoveryConfig { checkpoint_interval: interval, dir: dir.into(), max_udf_retries: 3 }
+    }
+}
+
+/// What fault tolerance cost and did during one job.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RecoveryStats {
+    /// Checkpoints taken (including checkpoint 0).
+    pub checkpoints_written: u32,
+    /// Total snapshot bytes written across all replicas.
+    pub snapshot_bytes: u64,
+    /// Rollback/restore events (one per machine-crash recovery, however
+    /// many machines died at that instant).
+    pub restores: u32,
+    /// Snapshot reads redirected past a dead replica holder.
+    pub replica_failovers: u32,
+    /// Snapshot copies rejected by checksum (or stale/unreadable).
+    pub corrupt_snapshots: u32,
+    /// Iterations re-run after a UDF panic.
+    pub udf_retries: u32,
+    /// Machines that fail-stopped during the job.
+    pub machine_crashes: u32,
+    /// Iterations recomputed between the restored checkpoint and the crash
+    /// point (the recovery tail).
+    pub tail_iterations_recomputed: u32,
+}
+
+/// Result of a recovered run: the accumulated simulated-cost report (normal
+/// iterations + checkpoint/restore rounds + recomputed tail) and the
+/// recovery ledger.
+#[derive(Debug, Clone)]
+pub struct RecoveryOutcome {
+    /// Simulated execution metrics, recovery work included.
+    pub report: ExecReport,
+    /// What went wrong and what it took to recover.
+    pub stats: RecoveryStats,
+}
+
+/// Wraps the user program so the fault plan's one-shot UDF panics fire at
+/// their pinned (iteration, vertex) cells. A cell is marked *fired* before
+/// the panic unwinds, so the driver's retry of the iteration succeeds —
+/// and because the thread pool attempts every work item even after a
+/// failure, all cells of an iteration fire on its first attempt no matter
+/// the thread count.
+struct ChaosProgram<'p, P> {
+    inner: &'p P,
+    iteration: AtomicU32,
+    /// `(iteration, vertex, fired)` per planned panic.
+    panics: Mutex<Vec<(u32, u32, bool)>>,
+}
+
+impl<'p, P: Propagation> ChaosProgram<'p, P> {
+    fn new(inner: &'p P, plan: &FaultPlan) -> Self {
+        ChaosProgram {
+            inner,
+            iteration: AtomicU32::new(0),
+            panics: Mutex::new(
+                plan.udf_panics.iter().map(|p| (p.iteration, p.vertex, false)).collect(),
+            ),
+        }
+    }
+
+    fn set_iteration(&self, it: u32) {
+        self.iteration.store(it, Ordering::Relaxed);
+    }
+}
+
+impl<P: Propagation> Propagation for ChaosProgram<'_, P> {
+    type State = P::State;
+    type Msg = P::Msg;
+
+    fn init(&self, v: VertexId, g: &CsrGraph) -> Self::State {
+        self.inner.init(v, g)
+    }
+
+    fn transfer(
+        &self,
+        from: VertexId,
+        state: &Self::State,
+        to: VertexId,
+        g: &CsrGraph,
+    ) -> Option<Self::Msg> {
+        let it = self.iteration.load(Ordering::Relaxed);
+        let fire = {
+            let mut panics = self.panics.lock().unwrap();
+            match panics.iter_mut().find(|p| p.0 == it && p.1 == from.0 && !p.2) {
+                Some(p) => {
+                    p.2 = true; // consumed: the retry must succeed
+                    true
+                }
+                None => false,
+            }
+        };
+        if fire {
+            panic!("chaos: injected transfer panic at iteration {it}, vertex {}", from.0);
+        }
+        self.inner.transfer(from, state, to, g)
+    }
+
+    fn combine(
+        &self,
+        v: VertexId,
+        old: &Self::State,
+        msgs: Vec<Self::Msg>,
+        g: &CsrGraph,
+    ) -> Self::State {
+        self.inner.combine(v, old, msgs, g)
+    }
+
+    fn associative(&self) -> bool {
+        self.inner.associative()
+    }
+
+    fn merge(&self, a: Self::Msg, b: Self::Msg) -> Self::Msg {
+        self.inner.merge(a, b)
+    }
+
+    fn msg_bytes(&self, msg: &Self::Msg) -> u64 {
+        self.inner.msg_bytes(msg)
+    }
+
+    fn state_bytes(&self) -> u64 {
+        self.inner.state_bytes()
+    }
+
+    fn transfer_ops(&self) -> f64 {
+        self.inner.transfer_ops()
+    }
+
+    fn combine_ops(&self) -> f64 {
+        self.inner.combine_ops()
+    }
+}
+
+fn snapshot_path(dir: &Path, machine: MachineId, pid: u32) -> PathBuf {
+    dir.join(format!("m{}", machine.0)).join(format!("part-{pid}.ckpt"))
+}
+
+/// Flip one payload byte of the snapshot at `path` — the physical stand-in
+/// for bit rot that the CRC32 check must catch on restore.
+fn corrupt_snapshot_file(path: &Path) -> SurferResult<()> {
+    let mut blob = std::fs::read(path)?;
+    let last = blob.len() - 1;
+    blob[last] ^= 0xFF;
+    std::fs::write(path, blob)?;
+    Ok(())
+}
+
+/// Run `iterations` of `prog` with checkpoint/restore under the failure
+/// schedule of `plan`. `state` ends bit-identical to a fault-free
+/// [`PropagationEngine::run`] of the same job; the returned report
+/// additionally charges checkpoint writes, snapshot restores, recomputed
+/// tail iterations, and the executor's failure-detection/re-execution
+/// rounds.
+#[allow(clippy::too_many_arguments)]
+pub fn run_with_recovery<P>(
+    cluster: &SimCluster,
+    pg: &PartitionedGraph,
+    options: EngineOptions,
+    prog: &P,
+    state: &mut [P::State],
+    iterations: u32,
+    cfg: &RecoveryConfig,
+    plan: &FaultPlan,
+) -> SurferResult<RecoveryOutcome>
+where
+    P: Propagation,
+    P::State: Checkpointable,
+{
+    assert!(cfg.checkpoint_interval >= 1, "checkpoint interval must be at least 1");
+    let machines = cluster.num_machines();
+    // Replica sets are fixed at job start from the *original* placement —
+    // re-homing a partition moves its tasks, not its replicas.
+    let store = PartitionStore::from_assignment(cluster.topology(), pg.placement());
+    let chaos = ChaosProgram::new(prog, plan);
+    let mut alive = vec![true; machines as usize];
+    let mut total = ExecReport::new(machines);
+    let mut stats = RecoveryStats::default();
+    // The placement tasks currently run on; re-homed after each crash.
+    let mut cur = PartitionedGraph::from_parts(
+        pg.graph_arc(),
+        pg.partitioning().clone(),
+        pg.placement().to_vec(),
+    );
+    let mut last_ckpt = 0u32;
+
+    // Checkpoint 0: the initial state, written before any work runs.
+    total.absorb(&write_checkpoint(cluster, &cur, &store, &alive, cfg, plan, 0, state, &mut stats)?);
+
+    let mut it = 0u32;
+    while it < iterations {
+        let crashed: Vec<MachineId> =
+            plan.crashes_at(it).filter(|m| alive[m.0 as usize]).collect();
+        let mut iter_faults: Vec<Fault> = Vec::new();
+        if !crashed.is_empty() {
+            for &m in &crashed {
+                alive[m.0 as usize] = false;
+                iter_faults.push(Fault { machine: m, at: SimTime::ZERO });
+            }
+            stats.machine_crashes += crashed.len() as u32;
+            let alive_ids: Vec<MachineId> = (0..machines)
+                .map(MachineId)
+                .filter(|m| alive[m.0 as usize])
+                .collect();
+            if alive_ids.is_empty() {
+                return Err(SurferError::ClusterLost);
+            }
+
+            // Roll back: reload every partition's checkpoint-`last_ckpt`
+            // snapshot from its first alive, checksum-clean replica.
+            total.absorb(&restore_checkpoint(
+                cluster, &cur, &store, &alive, cfg, last_ckpt, state, &mut stats,
+            )?);
+            stats.restores += 1;
+
+            // Re-home partitions stranded on dead machines: prefer an alive
+            // replica holder (the data is already there), else any alive
+            // machine round-robin.
+            let new_placement: Vec<MachineId> = cur
+                .partitions()
+                .map(|pid| {
+                    let home = cur.machine_of(pid);
+                    if alive[home.0 as usize] {
+                        home
+                    } else {
+                        store
+                            .failover(pid, &alive_ids)
+                            .unwrap_or(alive_ids[pid as usize % alive_ids.len()])
+                    }
+                })
+                .collect();
+            let next =
+                PartitionedGraph::from_parts(pg.graph_arc(), pg.partitioning().clone(), new_placement);
+
+            // Recompute the lost tail on the new placement. These are plain
+            // re-runs: any UDF panic pinned inside the tail already fired
+            // (and was consumed) on the first pass.
+            let engine = PropagationEngine::new(cluster, &next, options);
+            for t in last_ckpt..it {
+                chaos.set_iteration(t);
+                total.absorb(&engine.run_iteration(&chaos, state)?);
+                stats.tail_iterations_recomputed += 1;
+            }
+            cur = next;
+        }
+
+        // Run iteration `it`. The first crash-interrupted attempt injects
+        // the machine failures into the simulated executor, charging
+        // heartbeat detection and task re-assignment; a UDF panic fails the
+        // attempt (state untouched) and the iteration retries.
+        let engine = PropagationEngine::new(cluster, &cur, options);
+        chaos.set_iteration(it);
+        let mut attempts = 0u32;
+        let report = loop {
+            let result = if iter_faults.is_empty() {
+                engine.run_iteration(&chaos, state)
+            } else {
+                engine.run_iteration_with_faults(&chaos, state, &iter_faults)
+            };
+            match result {
+                Ok(r) => break r,
+                Err(e) if e.is_retryable() && attempts < cfg.max_udf_retries => {
+                    attempts += 1;
+                    stats.udf_retries += 1;
+                }
+                Err(e) if e.is_retryable() => {
+                    return Err(SurferError::RetriesExhausted {
+                        iteration: it,
+                        attempts: attempts + 1,
+                    });
+                }
+                Err(e) => return Err(e),
+            }
+        };
+        total.absorb(&report);
+        it += 1;
+
+        if it.is_multiple_of(cfg.checkpoint_interval) && it < iterations {
+            total.absorb(&write_checkpoint(
+                cluster, &cur, &store, &alive, cfg, plan, it, state, &mut stats,
+            )?);
+            last_ckpt = it;
+        }
+    }
+
+    Ok(RecoveryOutcome { report: total, stats })
+}
+
+/// Snapshot every partition's member states onto all alive machines of its
+/// replica set, stamped with `iteration`; returns the simulated cost of the
+/// checkpoint round (local write on the partition's home, replicated write
+/// plus network transfer on the siblings).
+#[allow(clippy::too_many_arguments)]
+fn write_checkpoint<S: Checkpointable>(
+    cluster: &SimCluster,
+    cur: &PartitionedGraph,
+    store: &PartitionStore,
+    alive: &[bool],
+    cfg: &RecoveryConfig,
+    plan: &FaultPlan,
+    iteration: u32,
+    state: &[S],
+    stats: &mut RecoveryStats,
+) -> SurferResult<ExecReport> {
+    // (home machine, snapshot bytes, replica sinks as (machine, bytes)).
+    type CkptSpec = (MachineId, u64, Vec<(MachineId, u64)>);
+    let mut specs: Vec<CkptSpec> = Vec::new();
+    for pid in cur.partitions() {
+        let mut payload = Vec::new();
+        for &v in &cur.meta(pid).members {
+            state[v.index()].write_to(&mut payload);
+        }
+        let len = payload.len() as u64;
+        let mut sinks = Vec::new();
+        for (idx, &m) in store.replicas(pid).machines.iter().enumerate() {
+            if !alive[m.0 as usize] {
+                continue;
+            }
+            let path = snapshot_path(&cfg.dir, m, pid);
+            write_snapshot(&path, iteration, pid, &payload)?;
+            stats.snapshot_bytes += len;
+            if plan.corrupts(iteration, pid, idx) {
+                corrupt_snapshot_file(&path)?;
+            }
+            sinks.push((m, len));
+        }
+        specs.push((cur.machine_of(pid), len, sinks));
+    }
+    stats.checkpoints_written += 1;
+
+    // Simulated cost: the home machine serializes + writes its local copy;
+    // each sibling replica receives the payload over the network and writes
+    // it. (If the partition was re-homed off its replica set, the home only
+    // serializes and every copy ships over the network.)
+    let mut ex = Executor::new(cluster);
+    for (pid, (home, len, sinks)) in specs.iter().enumerate() {
+        let src = ex.add_task(
+            TaskSpec::new(*home, TaskKind::Checkpoint)
+                .label(pid as u64)
+                .writes(if sinks.iter().any(|(m, _)| m == home) { *len } else { 0 }),
+        );
+        for (m, bytes) in sinks {
+            if m == home {
+                continue;
+            }
+            let dst = ex.add_task(
+                TaskSpec::new(*m, TaskKind::Checkpoint).label(pid as u64).writes(*bytes),
+            );
+            ex.add_transfer(src, dst, *bytes);
+        }
+    }
+    Ok(ex.run())
+}
+
+/// Reload every partition's checkpoint-`iteration` snapshot into `state`
+/// from the first alive replica whose copy verifies; returns the simulated
+/// restore round (replica read + transfer to the partition's home).
+#[allow(clippy::too_many_arguments)]
+fn restore_checkpoint<S: Checkpointable>(
+    cluster: &SimCluster,
+    cur: &PartitionedGraph,
+    store: &PartitionStore,
+    alive: &[bool],
+    cfg: &RecoveryConfig,
+    iteration: u32,
+    state: &mut [S],
+    stats: &mut RecoveryStats,
+) -> SurferResult<ExecReport> {
+    let mut sources: Vec<(MachineId, u64)> = Vec::new();
+    for pid in cur.partitions() {
+        let mut found: Option<(MachineId, u64, Vec<u8>)> = None;
+        for &m in &store.replicas(pid).machines {
+            if !alive[m.0 as usize] {
+                stats.replica_failovers += 1;
+                continue;
+            }
+            let path = snapshot_path(&cfg.dir, m, pid);
+            match read_snapshot(&path, pid) {
+                Ok((it, payload)) if it == iteration => {
+                    found = Some((m, payload.len() as u64, payload));
+                    break;
+                }
+                // Stale iteration stamp, bad checksum, truncation, or a
+                // missing file all disqualify this copy the same way: try
+                // the next replica.
+                Ok(_) | Err(GraphError::Corrupt(_)) | Err(GraphError::Io(_)) => {
+                    stats.corrupt_snapshots += 1;
+                }
+                Err(e) => return Err(e.into()),
+            }
+        }
+        let Some((m, len, payload)) = found else {
+            return Err(SurferError::ReplicasExhausted { partition: pid, iteration });
+        };
+        let mut buf = payload.as_slice();
+        for &v in &cur.meta(pid).members {
+            state[v.index()] = S::read_from(&mut buf).ok_or_else(|| {
+                GraphError::Corrupt(format!("snapshot of partition {pid} too short"))
+            })?;
+        }
+        sources.push((m, len));
+    }
+
+    let mut ex = Executor::new(cluster);
+    for (pid, (src_machine, len)) in sources.iter().enumerate() {
+        let src = ex.add_task(
+            TaskSpec::new(*src_machine, TaskKind::Restore).label(pid as u64).reads(*len),
+        );
+        let home = cur.machine_of(pid as u32);
+        if home != *src_machine && alive[home.0 as usize] {
+            let dst = ex.add_task(TaskSpec::new(home, TaskKind::Restore).label(pid as u64));
+            ex.add_transfer(src, dst, *len);
+        }
+    }
+    Ok(ex.run())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use surfer_cluster::{ClusterConfig, MachineCrash, UdfPanicAt};
+    use surfer_graph::generators::deterministic::cycle;
+    use surfer_partition::Partitioning;
+
+    fn tmp(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("surfer-checkpoint").join(name);
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn checkpointable_roundtrips_bit_exactly() {
+        let mut buf = Vec::new();
+        42u64.write_to(&mut buf);
+        (-7i32).write_to(&mut buf);
+        0.25f64.write_to(&mut buf);
+        true.write_to(&mut buf);
+        (3u32, 9u64).write_to(&mut buf);
+        Some(5u8).write_to(&mut buf);
+        Option::<u8>::None.write_to(&mut buf);
+        vec![1u16, 2, 3].write_to(&mut buf);
+        let mut r = buf.as_slice();
+        assert_eq!(u64::read_from(&mut r), Some(42));
+        assert_eq!(i32::read_from(&mut r), Some(-7));
+        assert_eq!(f64::read_from(&mut r), Some(0.25));
+        assert_eq!(bool::read_from(&mut r), Some(true));
+        assert_eq!(<(u32, u64)>::read_from(&mut r), Some((3, 9)));
+        assert_eq!(Option::<u8>::read_from(&mut r), Some(Some(5)));
+        assert_eq!(Option::<u8>::read_from(&mut r), Some(None));
+        assert_eq!(Vec::<u16>::read_from(&mut r), Some(vec![1, 2, 3]));
+        assert!(r.is_empty());
+        // A truncated buffer decodes to None, never to garbage.
+        let mut short = &buf[..3];
+        assert_eq!(u64::read_from(&mut short), None);
+    }
+
+    /// Each vertex forwards its value around a cycle; combine sums.
+    struct Rotate;
+    impl Propagation for Rotate {
+        type State = u64;
+        type Msg = u64;
+        fn init(&self, v: VertexId, _g: &CsrGraph) -> u64 {
+            v.0 as u64 + 1
+        }
+        fn transfer(&self, _f: VertexId, s: &u64, _t: VertexId, _g: &CsrGraph) -> Option<u64> {
+            Some(*s)
+        }
+        fn combine(&self, _v: VertexId, _old: &u64, msgs: Vec<u64>, _g: &CsrGraph) -> u64 {
+            msgs.iter().sum()
+        }
+        fn associative(&self) -> bool {
+            true
+        }
+        fn merge(&self, a: u64, b: u64) -> u64 {
+            a + b
+        }
+        fn msg_bytes(&self, _m: &u64) -> u64 {
+            12
+        }
+    }
+
+    fn fixture(machines: u16) -> (SimCluster, PartitionedGraph) {
+        let g = cycle(8);
+        let p = Partitioning::new(vec![0, 0, 0, 0, 1, 1, 1, 1], 2);
+        let placement = vec![MachineId(0), MachineId(1 % machines)];
+        let pg = PartitionedGraph::from_parts(Arc::new(g), p, placement);
+        (ClusterConfig::flat(machines).build(), pg)
+    }
+
+    #[test]
+    fn fault_free_recovery_run_matches_plain_run() {
+        let (c, pg) = fixture(4);
+        let engine = PropagationEngine::new(&c, &pg, EngineOptions::full());
+        let mut plain = engine.init_state(&Rotate);
+        engine.run(&Rotate, &mut plain, 5).unwrap();
+
+        let cfg = RecoveryConfig::new(2, tmp("fault-free"));
+        let mut state = engine.init_state(&Rotate);
+        let out = run_with_recovery(
+            &c,
+            &pg,
+            EngineOptions::full(),
+            &Rotate,
+            &mut state,
+            5,
+            &cfg,
+            &FaultPlan::none(),
+        )
+        .unwrap();
+        assert_eq!(state, plain, "checkpointing must not perturb results");
+        // Checkpoint 0 plus the ones after iterations 2 and 4.
+        assert_eq!(out.stats.checkpoints_written, 3);
+        assert_eq!(out.stats.restores, 0);
+        assert!(out.stats.snapshot_bytes > 0);
+        let _ = std::fs::remove_dir_all(&cfg.dir);
+    }
+
+    #[test]
+    fn crash_recovers_from_checkpoint_bit_identically() {
+        let (c, pg) = fixture(4);
+        let engine = PropagationEngine::new(&c, &pg, EngineOptions::full());
+        let mut plain = engine.init_state(&Rotate);
+        engine.run(&Rotate, &mut plain, 6).unwrap();
+
+        let plan = FaultPlan {
+            crashes: vec![MachineCrash { machine: MachineId(0), at_iteration: 3 }],
+            udf_panics: vec![UdfPanicAt { iteration: 1, vertex: 2 }],
+            corruptions: vec![],
+        };
+        let cfg = RecoveryConfig::new(2, tmp("crash"));
+        let mut state = engine.init_state(&Rotate);
+        let out = run_with_recovery(
+            &c,
+            &pg,
+            EngineOptions::full(),
+            &Rotate,
+            &mut state,
+            6,
+            &cfg,
+            &plan,
+        )
+        .unwrap();
+        assert_eq!(state, plain, "recovered run must match the fault-free result");
+        assert_eq!(out.stats.machine_crashes, 1);
+        assert_eq!(out.stats.restores, 1);
+        assert_eq!(out.stats.udf_retries, 1);
+        // Crash at iteration 3, last checkpoint after iteration 2: one tail
+        // iteration (2) is recomputed.
+        assert_eq!(out.stats.tail_iterations_recomputed, 1);
+        let _ = std::fs::remove_dir_all(&cfg.dir);
+    }
+
+    #[test]
+    fn udf_retries_exhaust_into_typed_error() {
+        let (c, pg) = fixture(2);
+        // Poison the same vertex in three *different* iterations so every
+        // retry budget of a single iteration is irrelevant — instead cap
+        // retries at 0 and poison iteration 0 once.
+        let plan = FaultPlan {
+            crashes: vec![],
+            udf_panics: vec![UdfPanicAt { iteration: 0, vertex: 1 }],
+            corruptions: vec![],
+        };
+        let mut cfg = RecoveryConfig::new(4, tmp("retries"));
+        cfg.max_udf_retries = 0;
+        let engine = PropagationEngine::new(&c, &pg, EngineOptions::full());
+        let mut state = engine.init_state(&Rotate);
+        let err = run_with_recovery(
+            &c,
+            &pg,
+            EngineOptions::full(),
+            &Rotate,
+            &mut state,
+            3,
+            &cfg,
+            &plan,
+        )
+        .unwrap_err();
+        assert!(
+            matches!(err, SurferError::RetriesExhausted { iteration: 0, attempts: 1 }),
+            "got {err:?}"
+        );
+        let _ = std::fs::remove_dir_all(&cfg.dir);
+    }
+}

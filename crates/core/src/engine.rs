@@ -21,10 +21,11 @@
 //! partition-id order, so states, message counts and [`ExecReport`] numbers
 //! are identical for every thread count.
 
+use crate::error::{SurferError, SurferResult};
 use crate::opt::OptimizationLevel;
 use crate::primitive::{Propagation, VirtualVertexTask};
 use std::collections::BTreeMap;
-use surfer_cluster::par::par_map_vec;
+use surfer_cluster::par::try_par_map_vec;
 use surfer_cluster::{
     ExecReport, Executor, Fault, MachineId, PartitionStore, SimCluster, StoreReplanner, TaskKind,
     TaskSpec,
@@ -150,7 +151,15 @@ impl<'a> PropagationEngine<'a> {
 
     /// Run one propagation iteration, updating `state` in place and
     /// returning the simulated-cost report.
-    pub fn run_iteration<P: Propagation>(&self, prog: &P, state: &mut [P::State]) -> ExecReport {
+    ///
+    /// A panic in the program's `transfer`/`combine` surfaces as
+    /// [`SurferError::UdfPanic`]; `state` is then untouched (writeback only
+    /// happens after every worker succeeds), so the iteration is retryable.
+    pub fn run_iteration<P: Propagation>(
+        &self,
+        prog: &P,
+        state: &mut [P::State],
+    ) -> SurferResult<ExecReport> {
         self.run_iteration_discounted(prog, state, None)
     }
 
@@ -164,8 +173,8 @@ impl<'a> PropagationEngine<'a> {
         prog: &P,
         state: &mut [P::State],
         disk_fraction: Option<&[f64]>,
-    ) -> ExecReport {
-        self.run_iteration_inner(prog, state, disk_fraction, &[]).0
+    ) -> SurferResult<ExecReport> {
+        Ok(self.run_iteration_inner(prog, state, disk_fraction, &[])?.0)
     }
 
     /// Run one iteration and also report how many messages `transfer`
@@ -175,7 +184,7 @@ impl<'a> PropagationEngine<'a> {
         &self,
         prog: &P,
         state: &mut [P::State],
-    ) -> (ExecReport, u64) {
+    ) -> SurferResult<(ExecReport, u64)> {
         self.run_iteration_inner(prog, state, None, &[])
     }
 
@@ -191,16 +200,16 @@ impl<'a> PropagationEngine<'a> {
         prog: &P,
         state: &mut [P::State],
         max_iterations: u32,
-    ) -> (ExecReport, u32) {
+    ) -> SurferResult<(ExecReport, u32)> {
         let mut total = ExecReport::new(self.cluster.num_machines());
         for it in 0..max_iterations {
-            let (report, messages) = self.run_iteration_counted(prog, state);
+            let (report, messages) = self.run_iteration_counted(prog, state)?;
             total.absorb(&report);
             if messages == 0 {
-                return (total, it + 1);
+                return Ok((total, it + 1));
             }
         }
-        (total, max_iterations)
+        Ok((total, max_iterations))
     }
 
     /// Run one iteration while injecting machine failures into the simulated
@@ -214,8 +223,8 @@ impl<'a> PropagationEngine<'a> {
         prog: &P,
         state: &mut [P::State],
         faults: &[Fault],
-    ) -> ExecReport {
-        self.run_iteration_inner(prog, state, None, faults).0
+    ) -> SurferResult<ExecReport> {
+        Ok(self.run_iteration_inner(prog, state, None, faults)?.0)
     }
 
     fn run_iteration_inner<P: Propagation>(
@@ -224,7 +233,7 @@ impl<'a> PropagationEngine<'a> {
         state: &mut [P::State],
         disk_fraction: Option<&[f64]>,
         faults: &[Fault],
-    ) -> (ExecReport, u64) {
+    ) -> SurferResult<(ExecReport, u64)> {
         let pg = self.graph;
         let g = pg.graph();
         let n = g.num_vertices() as usize;
@@ -240,7 +249,9 @@ impl<'a> PropagationEngine<'a> {
         // matter how many threads ran or how they were scheduled.
         let state_ro: &[P::State] = state;
         let pids: Vec<u32> = pg.partitions().collect();
-        let outboxes: Vec<Outbox<P::Msg>> = par_map_vec(threads, pids, |_, pid| {
+        // Work item i is partition i, so a WorkerPanic's index names the
+        // failing partition directly.
+        let outboxes: Vec<Outbox<P::Msg>> = try_par_map_vec(threads, pids, |_, pid| {
             let meta = pg.meta(pid);
             let mut t = PartitionTally::default();
             let mut msgs: Vec<(VertexId, P::Msg)> = Vec::new();
@@ -285,7 +296,8 @@ impl<'a> PropagationEngine<'a> {
                 msgs.push((to, msg));
             }
             Outbox { msgs, tally: t, emitted }
-        });
+        })
+        .map_err(|e| SurferError::from_worker_panic("transfer", e))?;
 
         // ---- Flat counted mailbox: count, prefix-sum, fill. ----
         // Slots are *encoded* ids (App. B): contiguous per partition and
@@ -332,8 +344,9 @@ impl<'a> PropagationEngine<'a> {
         }
         let state_ro: &[P::State] = state;
         let offsets = &offsets;
+        // Work item i is again partition i (chunks are built in pid order).
         let combined: Vec<(Vec<P::State>, u64)> =
-            par_map_vec(threads, chunks, |_, (pid, chunk)| {
+            try_par_map_vec(threads, chunks, |_, (pid, chunk)| {
                 let meta = pg.meta(pid);
                 let base = offsets[enc.range(pid).0.index()];
                 let mut new_states = Vec::with_capacity(meta.members.len());
@@ -349,7 +362,8 @@ impl<'a> PropagationEngine<'a> {
                     new_states.push(prog.combine(v, &state_ro[v.index()], msgs, g));
                 }
                 (new_states, combine_msgs)
-            });
+            })
+            .map_err(|e| SurferError::from_worker_panic("combine", e))?;
         for (pid, (new_states, combine_msgs)) in combined.into_iter().enumerate() {
             tally[pid].combine_msgs = combine_msgs;
             for (&v, s) in pg.meta(pid as u32).members.iter().zip(new_states) {
@@ -364,8 +378,8 @@ impl<'a> PropagationEngine<'a> {
             &tally,
             disk_fraction,
             faults,
-        );
-        (report, messages)
+        )?;
+        Ok((report, messages))
     }
 
     /// Run `iterations` iterations; reports are accumulated (sequential
@@ -375,13 +389,13 @@ impl<'a> PropagationEngine<'a> {
         prog: &P,
         state: &mut [P::State],
         iterations: u32,
-    ) -> ExecReport {
+    ) -> SurferResult<ExecReport> {
         let mut total = ExecReport::new(self.cluster.num_machines());
         for _ in 0..iterations {
-            let r = self.run_iteration(prog, state);
+            let r = self.run_iteration(prog, state)?;
             total.absorb(&r);
         }
-        total
+        Ok(total)
     }
 
     /// Build and run the simulated task DAG for one iteration given the
@@ -394,7 +408,7 @@ impl<'a> PropagationEngine<'a> {
         tally: &[PartitionTally],
         disk_fraction: Option<&[f64]>,
         faults: &[Fault],
-    ) -> ExecReport {
+    ) -> SurferResult<ExecReport> {
         let pg = self.graph;
         let memory = self.cluster.spec().memory_bytes;
         let frac = |pid: u32| disk_fraction.map_or(1.0, |f| f[pid as usize]);
@@ -455,7 +469,7 @@ impl<'a> PropagationEngine<'a> {
             }
         }
         if faults.is_empty() {
-            ex.run()
+            Ok(ex.run())
         } else {
             // Recovery policy: partition tasks follow their replicas.
             let store = PartitionStore::from_assignment(
@@ -463,7 +477,7 @@ impl<'a> PropagationEngine<'a> {
                 pg.placement(),
             );
             let mut replanner = StoreReplanner::new(&store);
-            ex.run_with_faults(faults, &mut replanner)
+            Ok(ex.run_with_faults(faults, &mut replanner)?)
         }
     }
 
@@ -471,7 +485,10 @@ impl<'a> PropagationEngine<'a> {
     /// vertex contributes to a developer-chosen virtual vertex; virtual
     /// vertices are hash-distributed over machines, so this emulates
     /// MapReduce inside Surfer. Returns outputs in virtual-id order.
-    pub fn run_virtual<T: VirtualVertexTask>(&self, task: &T) -> (Vec<T::Out>, ExecReport) {
+    pub fn run_virtual<T: VirtualVertexTask>(
+        &self,
+        task: &T,
+    ) -> SurferResult<(Vec<T::Out>, ExecReport)> {
         let pg = self.graph;
         let g = pg.graph();
         let machines = self.cluster.num_machines();
@@ -484,7 +501,7 @@ impl<'a> PropagationEngine<'a> {
         // plus the partition's per-machine byte row and call count.
         let pids: Vec<u32> = pg.partitions().collect();
         let transfers: Vec<VirtualOutbox<T::Msg>> =
-            par_map_vec(threads, pids, |_, pid| {
+            try_par_map_vec(threads, pids, |_, pid| {
                 let mut msgs: Vec<(u64, T::Msg)> = Vec::new();
                 let mut bytes_row = vec![0u64; machines as usize];
                 let mut calls = 0u64;
@@ -512,7 +529,8 @@ impl<'a> PropagationEngine<'a> {
                     msgs.push((vid, msg));
                 }
                 (msgs, bytes_row, calls)
-            });
+            })
+            .map_err(|e| SurferError::from_worker_panic("virtual-transfer", e))?;
 
         // Group per virtual vertex, folding outboxes in ascending pid order
         // so each group's message order matches the sequential run.
@@ -535,8 +553,17 @@ impl<'a> PropagationEngine<'a> {
         for (vid, msgs) in &entries {
             combine_msgs[(*vid % machines as u64) as usize] += msgs.len() as u64;
         }
+        // Map a failing entry index back to its virtual-vertex id so the
+        // error names something meaningful to the caller.
+        let vids: Vec<u64> = entries.iter().map(|(vid, _)| *vid).collect();
         let outputs: Vec<T::Out> =
-            par_map_vec(threads, entries, |_, (vid, msgs)| task.combine(vid, msgs));
+            try_par_map_vec(threads, entries, |_, (vid, msgs)| task.combine(vid, msgs)).map_err(
+                |e| SurferError::UdfPanic {
+                    stage: "virtual-combine",
+                    item: vids[e.index],
+                    message: e.message,
+                },
+            )?;
 
         // Simulated DAG: one Transfer task per partition, one virtual
         // Combine task per machine.
@@ -572,7 +599,7 @@ impl<'a> PropagationEngine<'a> {
                 }
             }
         }
-        (outputs, ex.run())
+        Ok((outputs, ex.run()))
     }
 }
 
@@ -629,7 +656,7 @@ mod tests {
         let engine = PropagationEngine::new(&c, &pg, EngineOptions::full());
         let prog = Rotate;
         let mut state = engine.init_state(&prog);
-        engine.run_iteration(&prog, &mut state);
+        engine.run_iteration(&prog, &mut state).unwrap();
         // Vertex v now holds the old value of v-1 (mod 8).
         let expect: Vec<u64> = (0..8u64).map(|v| (v + 7) % 8 + 1).collect();
         assert_eq!(state, expect);
@@ -642,7 +669,7 @@ mod tests {
         for opts in [EngineOptions::none(), EngineOptions::full()] {
             let engine = PropagationEngine::new(&c, &pg, opts);
             let mut state = engine.init_state(&Rotate);
-            engine.run(&Rotate, &mut state, 3);
+            engine.run(&Rotate, &mut state, 3).unwrap();
             results.push(state);
         }
         assert_eq!(results[0], results[1]);
@@ -655,7 +682,7 @@ mod tests {
         // (3->4 and 7->0), one message each way, 12 bytes each.
         let engine = PropagationEngine::new(&c, &pg, EngineOptions::none());
         let mut state = engine.init_state(&Rotate);
-        let r = engine.run_iteration(&Rotate, &mut state);
+        let r = engine.run_iteration(&Rotate, &mut state).unwrap();
         assert_eq!(r.network_bytes, 24);
     }
 
@@ -678,7 +705,7 @@ mod tests {
         let run = |opts: EngineOptions| {
             let engine = PropagationEngine::new(&c, &pg, opts);
             let mut state = engine.init_state(&Rotate);
-            engine.run_iteration(&Rotate, &mut state)
+            engine.run_iteration(&Rotate, &mut state).unwrap()
         };
         let plain = run(EngineOptions::none());
         let opt = run(EngineOptions::full());
@@ -693,7 +720,7 @@ mod tests {
         let run = |opts: EngineOptions| {
             let engine = PropagationEngine::new(&c, &pg, opts);
             let mut state = engine.init_state(&Rotate);
-            engine.run_iteration(&Rotate, &mut state)
+            engine.run_iteration(&Rotate, &mut state).unwrap()
         };
         let plain = run(EngineOptions::none());
         let opt = run(EngineOptions::full());
@@ -715,7 +742,7 @@ mod tests {
         let c = ClusterConfig::flat(1).build();
         let engine = PropagationEngine::new(&c, &pg, EngineOptions::full());
         let mut state = engine.init_state(&Rotate);
-        engine.run_iteration(&Rotate, &mut state);
+        engine.run_iteration(&Rotate, &mut state).unwrap();
         assert_eq!(state[0], 0, "head vertex should have been combined with an empty bag");
     }
 
@@ -745,8 +772,50 @@ mod tests {
     fn virtual_vertices_compute_degree_histogram() {
         let (c, pg) = two_partition_cycle();
         let engine = PropagationEngine::new(&c, &pg, EngineOptions::full());
-        let (out, report) = engine.run_virtual(&DegreeCount);
+        let (out, report) = engine.run_virtual(&DegreeCount).unwrap();
         assert_eq!(out, vec![(1, 8)]); // all 8 vertices have out-degree 1
         assert!(report.tasks_completed >= 3);
+    }
+
+    /// Rotate whose transfer panics when fired from a chosen vertex.
+    struct PoisonedRotate(u32);
+    impl Propagation for PoisonedRotate {
+        type State = u64;
+        type Msg = u64;
+        fn init(&self, v: VertexId, g: &CsrGraph) -> u64 {
+            Rotate.init(v, g)
+        }
+        fn transfer(&self, from: VertexId, s: &u64, _to: VertexId, _g: &CsrGraph) -> Option<u64> {
+            assert_ne!(from.0, self.0, "poisoned transfer");
+            Some(*s)
+        }
+        fn combine(&self, _v: VertexId, _old: &u64, msgs: Vec<u64>, _g: &CsrGraph) -> u64 {
+            msgs.iter().sum()
+        }
+        fn msg_bytes(&self, _m: &u64) -> u64 {
+            12
+        }
+    }
+
+    #[test]
+    fn udf_panic_is_typed_and_leaves_state_untouched() {
+        let (c, pg) = two_partition_cycle();
+        for threads in [1, 2, 0] {
+            let engine =
+                PropagationEngine::new(&c, &pg, EngineOptions::full().threads(threads));
+            let prog = PoisonedRotate(5); // vertex 5 lives in partition 1
+            let mut state = engine.init_state(&prog);
+            let before = state.clone();
+            let err = engine.run_iteration(&prog, &mut state).unwrap_err();
+            match err {
+                SurferError::UdfPanic { stage, item, ref message } => {
+                    assert_eq!(stage, "transfer", "threads = {threads}");
+                    assert_eq!(item, 1, "threads = {threads}: partition of vertex 5");
+                    assert!(message.contains("poisoned transfer"));
+                }
+                other => panic!("expected UdfPanic, got {other:?}"),
+            }
+            assert_eq!(state, before, "failed iteration must not write state back");
+        }
     }
 }

@@ -1,0 +1,153 @@
+//! The canonical error type of the Surfer execution path.
+//!
+//! Every failure a job can hit — a poisoned user function, a lost cluster,
+//! damaged checkpoint storage — surfaces as a [`SurferError`] value instead
+//! of a panic, so callers can retry, fail over, or report. Lower layers keep
+//! their own narrow types ([`WorkerPanic`] in the thread pool,
+//! [`ClusterLost`] in the executor, [`MapReduceError`] in the baseline
+//! engine, [`GraphError`] on storage); `From` impls funnel them all here.
+
+use surfer_cluster::exec::ClusterLost;
+use surfer_cluster::par::WorkerPanic;
+use surfer_graph::GraphError;
+use surfer_mapreduce::MapReduceError;
+
+/// Everything that can go wrong while running a Surfer job.
+#[derive(Debug)]
+pub enum SurferError {
+    /// A user-defined function (`transfer`, `combine`, …) panicked.
+    ///
+    /// The panic is caught per work item, so the job fails as a value and is
+    /// retryable: the engine writes vertex states back only after *all*
+    /// workers succeed, so the state vector is untouched by a failed
+    /// iteration.
+    UdfPanic {
+        /// Which engine stage ran the function (`"transfer"`, `"combine"`,
+        /// `"virtual-transfer"`, `"virtual-combine"`).
+        stage: &'static str,
+        /// The failing work item — the partition id for partition-grained
+        /// stages, the virtual-vertex id for `virtual-combine`.
+        item: u64,
+        /// Rendered panic payload.
+        message: String,
+    },
+    /// Every machine failed; no alive replica can take the job over.
+    ClusterLost,
+    /// A checkpoint snapshot could not be restored from any replica: every
+    /// copy was on a dead machine or failed its checksum.
+    ReplicasExhausted {
+        /// The partition whose snapshot is unrecoverable.
+        partition: u32,
+        /// The checkpoint iteration that was being restored.
+        iteration: u32,
+    },
+    /// An iteration kept failing after the configured number of retries.
+    RetriesExhausted {
+        /// The iteration that would not complete.
+        iteration: u32,
+        /// Attempts made (1 + retries).
+        attempts: u32,
+    },
+    /// Checkpoint or partition storage failed (I/O or corruption).
+    Storage(GraphError),
+    /// The MapReduce baseline engine failed.
+    MapReduce(MapReduceError),
+}
+
+/// Shorthand result over [`SurferError`].
+pub type SurferResult<T> = Result<T, SurferError>;
+
+impl std::fmt::Display for SurferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SurferError::UdfPanic { stage, item, message } => {
+                write!(f, "user {stage} function panicked on work item {item}: {message}")
+            }
+            SurferError::ClusterLost => {
+                write!(f, "all machines failed; no alive replica can take over the job")
+            }
+            SurferError::ReplicasExhausted { partition, iteration } => write!(
+                f,
+                "no replica holds a valid checkpoint-{iteration} snapshot of partition {partition}"
+            ),
+            SurferError::RetriesExhausted { iteration, attempts } => {
+                write!(f, "iteration {iteration} failed {attempts} times; giving up")
+            }
+            SurferError::Storage(e) => write!(f, "checkpoint storage error: {e}"),
+            SurferError::MapReduce(e) => write!(f, "mapreduce job failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SurferError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SurferError::Storage(e) => Some(e),
+            SurferError::MapReduce(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<ClusterLost> for SurferError {
+    fn from(_: ClusterLost) -> Self {
+        SurferError::ClusterLost
+    }
+}
+
+impl From<GraphError> for SurferError {
+    fn from(e: GraphError) -> Self {
+        SurferError::Storage(e)
+    }
+}
+
+impl From<std::io::Error> for SurferError {
+    fn from(e: std::io::Error) -> Self {
+        SurferError::Storage(GraphError::Io(e))
+    }
+}
+
+impl From<MapReduceError> for SurferError {
+    fn from(e: MapReduceError) -> Self {
+        SurferError::MapReduce(e)
+    }
+}
+
+impl SurferError {
+    /// Promote a thread-pool [`WorkerPanic`] into a [`SurferError::UdfPanic`]
+    /// for the given engine stage; the panic's item index is used verbatim.
+    pub fn from_worker_panic(stage: &'static str, p: WorkerPanic) -> Self {
+        SurferError::UdfPanic { stage, item: p.index as u64, message: p.message }
+    }
+
+    /// Is this error worth retrying (a transient, per-attempt failure)?
+    pub fn is_retryable(&self) -> bool {
+        matches!(self, SurferError::UdfPanic { .. })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_meaning() {
+        let e: SurferError = ClusterLost.into();
+        assert!(matches!(e, SurferError::ClusterLost));
+        let e: SurferError = GraphError::Corrupt("x".into()).into();
+        assert!(matches!(e, SurferError::Storage(GraphError::Corrupt(_))));
+        let e = SurferError::from_worker_panic(
+            "transfer",
+            WorkerPanic { index: 3, message: "boom".into() },
+        );
+        assert!(e.is_retryable());
+        assert!(e.to_string().contains("transfer"));
+        assert!(e.to_string().contains("3"));
+    }
+
+    #[test]
+    fn non_udf_errors_are_not_retryable() {
+        assert!(!SurferError::ClusterLost.is_retryable());
+        assert!(!SurferError::ReplicasExhausted { partition: 0, iteration: 0 }.is_retryable());
+    }
+}

@@ -14,14 +14,20 @@
 //! * [`Surfer`] — the end-user entry point; see the workspace README.
 
 pub mod cascade;
+pub mod checkpoint;
 pub mod engine;
+pub mod error;
 pub mod opt;
 pub mod pipeline;
 pub mod primitive;
 pub mod surfer;
 
 pub use cascade::{run_cascaded, CascadeAnalysis};
+pub use checkpoint::{
+    run_with_recovery, Checkpointable, RecoveryConfig, RecoveryOutcome, RecoveryStats,
+};
 pub use engine::{EngineOptions, PropagationEngine};
+pub use error::{SurferError, SurferResult};
 pub use opt::OptimizationLevel;
 pub use pipeline::{Pipeline, PipelineOutcome, StageKind, StageOutcome};
 pub use primitive::{Propagation, VirtualVertexTask};

@@ -18,12 +18,13 @@
 //! let outcome = Pipeline::new("demo")
 //!     .propagation("rank", |s| {
 //!         let app = surfer_apps_stub::rank();
-//!         let (_, report) = app(s);
-//!         report
+//!         let (_, report) = app(s)?;
+//!         Ok(report)
 //!     })
-//!     .run(&surfer);
+//!     .run(&surfer)
+//!     .unwrap();
 //! # mod surfer_apps_stub {
-//! #     use surfer_core::{PropagationEngine, Propagation};
+//! #     use surfer_core::{PropagationEngine, Propagation, SurferResult};
 //! #     use surfer_cluster::ExecReport;
 //! #     use surfer_graph::{CsrGraph, VertexId};
 //! #     struct Noop;
@@ -35,17 +36,18 @@
 //! #         fn combine(&self, _v: VertexId, _o: &(), _m: Vec<()>, _g: &CsrGraph) {}
 //! #         fn msg_bytes(&self, _m: &()) -> u64 { 4 }
 //! #     }
-//! #     pub fn rank() -> impl Fn(&PropagationEngine<'_>) -> ((), ExecReport) {
+//! #     pub fn rank() -> impl Fn(&PropagationEngine<'_>) -> SurferResult<((), ExecReport)> {
 //! #         |engine| {
 //! #             let prog = Noop;
 //! #             let mut state = engine.init_state(&prog);
-//! #             ((), engine.run_iteration(&prog, &mut state))
+//! #             Ok(((), engine.run_iteration(&prog, &mut state)?))
 //! #         }
 //! #     }
 //! # }
 //! assert_eq!(outcome.stages.len(), 1);
 //! ```
 
+use crate::error::SurferResult;
 use crate::surfer::{Surfer, SurferApp};
 use surfer_cluster::ExecReport;
 use surfer_mapreduce::MapReduceEngine;
@@ -107,8 +109,8 @@ impl PipelineOutcome {
     }
 }
 
-type PropStage<'a> = Box<dyn FnOnce(&PropagationEngine<'_>) -> ExecReport + 'a>;
-type MrStage<'a> = Box<dyn FnOnce(&MapReduceEngine<'_>) -> ExecReport + 'a>;
+type PropStage<'a> = Box<dyn FnOnce(&PropagationEngine<'_>) -> SurferResult<ExecReport> + 'a>;
+type MrStage<'a> = Box<dyn FnOnce(&MapReduceEngine<'_>) -> SurferResult<ExecReport> + 'a>;
 
 enum Stage<'a> {
     Prop(String, PropStage<'a>),
@@ -129,11 +131,11 @@ impl<'a> Pipeline<'a> {
 
     /// Append a propagation stage. The closure receives the engine, performs
     /// whatever computation it wants (keeping its outputs) and returns the
-    /// report.
+    /// report. A stage error aborts the pipeline at that stage.
     pub fn propagation(
         mut self,
         name: impl Into<String>,
-        stage: impl FnOnce(&PropagationEngine<'_>) -> ExecReport + 'a,
+        stage: impl FnOnce(&PropagationEngine<'_>) -> SurferResult<ExecReport> + 'a,
     ) -> Self {
         self.stages.push(Stage::Prop(name.into(), Box::new(stage)));
         self
@@ -143,7 +145,7 @@ impl<'a> Pipeline<'a> {
     pub fn mapreduce(
         mut self,
         name: impl Into<String>,
-        stage: impl FnOnce(&MapReduceEngine<'_>) -> ExecReport + 'a,
+        stage: impl FnOnce(&MapReduceEngine<'_>) -> SurferResult<ExecReport> + 'a,
     ) -> Self {
         self.stages.push(Stage::Mr(name.into(), Box::new(stage)));
         self
@@ -158,9 +160,9 @@ impl<'a> Pipeline<'a> {
     ) -> Self {
         let name = app.name().to_string();
         self.propagation(name, move |engine| {
-            let (out, report) = app.run_propagation(engine);
+            let (out, report) = app.run_propagation(engine)?;
             sink(out);
-            report
+            Ok(report)
         })
     }
 
@@ -174,25 +176,26 @@ impl<'a> Pipeline<'a> {
         self.stages.is_empty()
     }
 
-    /// Execute all stages in order on `surfer`.
-    pub fn run(self, surfer: &Surfer) -> PipelineOutcome {
+    /// Execute all stages in order on `surfer`. The first failing stage
+    /// aborts the pipeline and its error is returned.
+    pub fn run(self, surfer: &Surfer) -> SurferResult<PipelineOutcome> {
         let mut stages = Vec::with_capacity(self.stages.len());
         let mut total = ExecReport::new(surfer.cluster().num_machines());
         for stage in self.stages {
             let outcome = match stage {
                 Stage::Prop(name, f) => {
-                    let report = f(&surfer.propagation());
+                    let report = f(&surfer.propagation())?;
                     StageOutcome { name, kind: StageKind::Propagation, report }
                 }
                 Stage::Mr(name, f) => {
-                    let report = f(&surfer.mapreduce());
+                    let report = f(&surfer.mapreduce())?;
                     StageOutcome { name, kind: StageKind::MapReduce, report }
                 }
             };
             total.absorb(&outcome.report);
             stages.push(outcome);
         }
-        PipelineOutcome { name: self.name, stages, total }
+        Ok(PipelineOutcome { name: self.name, stages, total })
     }
 }
 
@@ -274,7 +277,8 @@ mod tests {
                 let mut state = engine.init_state(&Noop);
                 engine.run_iteration(&Noop, &mut state)
             })
-            .run(&surfer);
+            .run(&surfer)
+            .unwrap();
         assert_eq!(outcome.stages.len(), 2);
         let sum: SimDuration =
             outcome.stages.iter().map(|s| s.report.response_time).sum();
@@ -288,7 +292,8 @@ mod tests {
         let adopters = Cell::new(0usize);
         let outcome = Pipeline::new("campaign")
             .app(surfer_apps_recommender(), |out| adopters.set(out.count()))
-            .run(&surfer);
+            .run(&surfer)
+            .unwrap();
         assert_eq!(outcome.stages.len(), 1);
         assert_eq!(outcome.stages[0].kind, StageKind::Propagation);
         assert!(adopters.get() > 0, "sink should have received the output");
@@ -346,15 +351,15 @@ mod tests {
             fn run_propagation(
                 &self,
                 engine: &crate::engine::PropagationEngine<'_>,
-            ) -> (Adoption, surfer_cluster::ExecReport) {
+            ) -> crate::error::SurferResult<(Adoption, surfer_cluster::ExecReport)> {
                 let mut state = engine.init_state(&Prog);
-                let report = engine.run_iteration(&Prog, &mut state);
-                (Adoption(state), report)
+                let report = engine.run_iteration(&Prog, &mut state)?;
+                Ok((Adoption(state), report))
             }
             fn run_mapreduce(
                 &self,
                 _engine: &surfer_mapreduce::MapReduceEngine<'_>,
-            ) -> (Adoption, surfer_cluster::ExecReport) {
+            ) -> crate::error::SurferResult<(Adoption, surfer_cluster::ExecReport)> {
                 unimplemented!("test app is propagation-only")
             }
         }

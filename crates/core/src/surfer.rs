@@ -3,6 +3,7 @@
 //! written against either primitive (§3, Appendix B).
 
 use crate::engine::{EngineOptions, PropagationEngine};
+use crate::error::SurferResult;
 use crate::opt::OptimizationLevel;
 use std::sync::Arc;
 use surfer_cluster::{ExecReport, SimCluster};
@@ -23,10 +24,16 @@ pub trait SurferApp {
     fn name(&self) -> &'static str;
 
     /// Execute with the propagation primitive.
-    fn run_propagation(&self, engine: &PropagationEngine<'_>) -> (Self::Output, ExecReport);
+    fn run_propagation(
+        &self,
+        engine: &PropagationEngine<'_>,
+    ) -> SurferResult<(Self::Output, ExecReport)>;
 
     /// Execute with the MapReduce primitive.
-    fn run_mapreduce(&self, engine: &MapReduceEngine<'_>) -> (Self::Output, ExecReport);
+    fn run_mapreduce(
+        &self,
+        engine: &MapReduceEngine<'_>,
+    ) -> SurferResult<(Self::Output, ExecReport)>;
 }
 
 /// Result of running an application.
@@ -179,15 +186,15 @@ impl Surfer {
 
     /// Run an application with the propagation primitive (the default and
     /// usually fastest choice, §6.4).
-    pub fn run<A: SurferApp>(&self, app: &A) -> SurferRun<A::Output> {
-        let (output, report) = app.run_propagation(&self.propagation());
-        SurferRun { output, report }
+    pub fn run<A: SurferApp>(&self, app: &A) -> SurferResult<SurferRun<A::Output>> {
+        let (output, report) = app.run_propagation(&self.propagation())?;
+        Ok(SurferRun { output, report })
     }
 
     /// Run an application with the MapReduce primitive.
-    pub fn run_mapreduce<A: SurferApp>(&self, app: &A) -> SurferRun<A::Output> {
-        let (output, report) = app.run_mapreduce(&self.mapreduce());
-        SurferRun { output, report }
+    pub fn run_mapreduce<A: SurferApp>(&self, app: &A) -> SurferResult<SurferRun<A::Output>> {
+        let (output, report) = app.run_mapreduce(&self.mapreduce())?;
+        Ok(SurferRun { output, report })
     }
 }
 

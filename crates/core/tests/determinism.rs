@@ -139,7 +139,7 @@ fn run_propagation<P: Propagation>(
     let mut reports = String::new();
     let mut messages = 0u64;
     for _ in 0..iterations {
-        let (r, m) = engine.run_iteration_counted(prog, &mut state);
+        let (r, m) = engine.run_iteration_counted(prog, &mut state).unwrap();
         reports.push_str(&report_key(&r));
         messages += m;
     }
@@ -184,10 +184,10 @@ fn virtual_vertices_match_across_threads() {
     let (cluster, pg) = testbed();
     for base in option_matrix() {
         let engine = PropagationEngine::new(&cluster, &pg, base);
-        let (out1, rep1) = engine.run_virtual(&DegreeHistogram);
+        let (out1, rep1) = engine.run_virtual(&DegreeHistogram).unwrap();
         for t in THREAD_COUNTS {
             let engine = PropagationEngine::new(&cluster, &pg, base.threads(t));
-            let (out, rep) = engine.run_virtual(&DegreeHistogram);
+            let (out, rep) = engine.run_virtual(&DegreeHistogram).unwrap();
             assert_eq!(out1.len(), out.len());
             assert!(
                 out1.iter()
@@ -207,11 +207,11 @@ fn convergence_iteration_count_matches_across_threads() {
     let mut s1 = seq.init_state(&ShortestPaths);
     // ShortestPaths keeps emitting, so bound the run; the point is that the
     // accumulated report over a multi-iteration driver matches too.
-    let (r1, i1) = seq.run_until_converged(&ShortestPaths, &mut s1, 6);
+    let (r1, i1) = seq.run_until_converged(&ShortestPaths, &mut s1, 6).unwrap();
     for t in THREAD_COUNTS {
         let par = PropagationEngine::new(&cluster, &pg, EngineOptions::full().threads(t));
         let mut st = par.init_state(&ShortestPaths);
-        let (rt, it) = par.run_until_converged(&ShortestPaths, &mut st, 6);
+        let (rt, it) = par.run_until_converged(&ShortestPaths, &mut st, 6).unwrap();
         assert_eq!(i1, it);
         assert_eq!(s1, st);
         assert_eq!(report_key(&r1), report_key(&rt));

@@ -58,9 +58,9 @@ proptest! {
         let engine = PropagationEngine::new(&cluster, &pg, EngineOptions::full());
 
         let mut naive_state = engine.init_state(&SumForward);
-        let naive = engine.run(&SumForward, &mut naive_state, iters);
+        let naive = engine.run(&SumForward, &mut naive_state, iters).unwrap();
         let mut casc_state = engine.init_state(&SumForward);
-        let (casc, analysis) = run_cascaded(&engine, &SumForward, &mut casc_state, iters);
+        let (casc, analysis) = run_cascaded(&engine, &SumForward, &mut casc_state, iters).unwrap();
 
         prop_assert_eq!(naive_state, casc_state, "cascading changed results");
         prop_assert_eq!(casc.network_bytes, naive.network_bytes);

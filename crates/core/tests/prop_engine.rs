@@ -81,7 +81,7 @@ proptest! {
             let pg = partitioned(&g, p, 3, seed);
             let engine = PropagationEngine::new(&cluster, &pg, opts);
             let mut state = engine.init_state(&SumForward);
-            engine.run_iteration(&SumForward, &mut state);
+            engine.run_iteration(&SumForward, &mut state).unwrap();
             prop_assert_eq!(&state, &expected);
         }
     }
@@ -100,7 +100,7 @@ proptest! {
         let cluster = ClusterConfig::flat(machines).build();
         let engine = PropagationEngine::new(&cluster, &pg, EngineOptions::none());
         let mut state = engine.init_state(&SumForward);
-        let report = engine.run_iteration(&SumForward, &mut state);
+        let report = engine.run_iteration(&SumForward, &mut state).unwrap();
         let cross: u64 = pg
             .partitions()
             .map(|pid| pg.meta(pid).cross_out_edges.values().sum::<u64>())
@@ -116,7 +116,7 @@ proptest! {
         let run = |opts| {
             let engine = PropagationEngine::new(&cluster, &pg, opts);
             let mut state = engine.init_state(&SumForward);
-            engine.run_iteration(&SumForward, &mut state).network_bytes
+            engine.run_iteration(&SumForward, &mut state).unwrap().network_bytes
         };
         prop_assert!(run(EngineOptions::full()) <= run(EngineOptions::none()));
     }
@@ -142,7 +142,7 @@ proptest! {
         let cluster = ClusterConfig::flat(2).build();
         let engine = PropagationEngine::new(&cluster, &pg, EngineOptions::full());
         let mut state = engine.init_state(&Silent);
-        let (report, iters) = engine.run_until_converged(&Silent, &mut state, 50);
+        let (report, iters) = engine.run_until_converged(&Silent, &mut state, 50).unwrap();
         prop_assert_eq!(iters, 1, "silent program should stop after one iteration");
         prop_assert_eq!(report.network_bytes, 0);
     }
@@ -158,12 +158,12 @@ proptest! {
         let mut acc_net = 0u64;
         let mut acc_resp = 0.0;
         for _ in 0..iters {
-            let r = engine.run_iteration(&SumForward, &mut s1);
+            let r = engine.run_iteration(&SumForward, &mut s1).unwrap();
             acc_net += r.network_bytes;
             acc_resp += r.response_time.as_secs_f64();
         }
         let mut s2 = engine.init_state(&SumForward);
-        let multi = engine.run(&SumForward, &mut s2, iters);
+        let multi = engine.run(&SumForward, &mut s2, iters).unwrap();
         prop_assert_eq!(s1, s2);
         prop_assert_eq!(multi.network_bytes, acc_net);
         prop_assert!((multi.response_time.as_secs_f64() - acc_resp).abs() < 1e-9);

@@ -19,9 +19,47 @@ use crate::api::{Emitter, PartitionMapper, Reducer};
 use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeMap;
 use std::hash::{Hash, Hasher};
-use surfer_cluster::par::par_map_vec;
+use surfer_cluster::par::try_par_map_vec;
 use surfer_cluster::{ExecReport, Executor, MachineId, SimCluster, TaskKind, TaskSpec};
 use surfer_partition::PartitionedGraph;
+
+/// A MapReduce job failed: a user map or reduce function panicked.
+///
+/// The panic is caught per work item, so the job fails as a value — naming
+/// the partition (map) or reducer machine (reduce) that was poisoned — and
+/// the process survives to retry or report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MapReduceError {
+    /// The user's `map` panicked on the given partition.
+    MapPanic {
+        /// Partition whose map task failed.
+        partition: u32,
+        /// Rendered panic payload.
+        message: String,
+    },
+    /// The user's `reduce` panicked on the given reducer machine's groups.
+    ReducePanic {
+        /// Reducer machine whose reduce task failed.
+        machine: u16,
+        /// Rendered panic payload.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for MapReduceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            MapReduceError::MapPanic { partition, message } => {
+                write!(f, "map task for partition {partition} panicked: {message}")
+            }
+            MapReduceError::ReducePanic { machine, message } => {
+                write!(f, "reduce task on machine {machine} panicked: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MapReduceError {}
 
 /// Result of one MapReduce job: the real outputs plus the simulated-cost
 /// report.
@@ -78,7 +116,11 @@ impl<'a> MapReduceEngine<'a> {
     }
 
     /// Run one map + shuffle + reduce round.
-    pub fn run<M, R>(&self, mapper: &M, reducer: &R) -> MapReduceRun<R::Out>
+    ///
+    /// A panic inside the user's `map` or `reduce` surfaces as a
+    /// [`MapReduceError`] naming the failed partition / reducer machine; the
+    /// engine itself never panics on user-code failure.
+    pub fn run<M, R>(&self, mapper: &M, reducer: &R) -> Result<MapReduceRun<R::Out>, MapReduceError>
     where
         M: PartitionMapper,
         R: Reducer<Key = M::Key, Value = M::Value>,
@@ -87,13 +129,19 @@ impl<'a> MapReduceEngine<'a> {
         let pg = self.graph;
 
         // ---- Real computation: map every partition (parallel). ----
+        // Work item i is partition pids[i], so a WorkerPanic index names the
+        // partition directly.
         let pids: Vec<u32> = pg.partitions().collect();
         let per_partition: Vec<Vec<(M::Key, M::Value)>> =
-            par_map_vec(self.threads, pids, |_, pid| {
+            try_par_map_vec(self.threads, pids.clone(), |_, pid| {
                 let mut em = Emitter::new();
                 mapper.map(pg, pid, &mut em);
                 em.into_pairs()
-            });
+            })
+            .map_err(|e| MapReduceError::MapPanic {
+                partition: pids[e.index],
+                message: e.message,
+            })?;
 
         // ---- Shuffle: hash keys to reducer machines, count bytes. ----
         // bytes_to[pid][r] = intermediate bytes from partition pid to reducer r.
@@ -112,7 +160,8 @@ impl<'a> MapReduceEngine<'a> {
         // ---- Real computation: reduce (parallel, one item per machine).
         // Per-machine output runs concatenate in machine order, preserving
         // the sequential engine's "by reducer machine, then key" ordering.
-        let reduced: Vec<(Vec<R::Out>, u64)> = par_map_vec(self.threads, groups, |_, g| {
+        // Work item i is reducer machine i.
+        let reduced: Vec<(Vec<R::Out>, u64)> = try_par_map_vec(self.threads, groups, |_, g| {
             let mut outs = Vec::new();
             let mut values = 0u64;
             for (k, vs) in &g {
@@ -120,7 +169,8 @@ impl<'a> MapReduceEngine<'a> {
                 reducer.reduce(k, vs, &mut outs);
             }
             (outs, values)
-        });
+        })
+        .map_err(|e| MapReduceError::ReducePanic { machine: e.index as u16, message: e.message })?;
         let mut outputs = Vec::new();
         let mut reduce_cost: Vec<(u64, u64)> = Vec::new(); // (values, outputs) per machine
         for (outs, values) in reduced {
@@ -182,7 +232,7 @@ impl<'a> MapReduceEngine<'a> {
             }
         }
         let report = ex.run();
-        MapReduceRun { outputs, report }
+        Ok(MapReduceRun { outputs, report })
     }
 }
 
@@ -240,7 +290,7 @@ mod tests {
         let reference = surfer_graph::properties::degree_histogram(&g);
         let (cluster, pg) = setup(g, 4, 4);
         let engine = MapReduceEngine::new(&cluster, &pg);
-        let mut run = engine.run(&DegreeMapper, &SumReducer);
+        let mut run = engine.run(&DegreeMapper, &SumReducer).unwrap();
         run.outputs.sort_unstable();
         assert_eq!(run.outputs, reference);
     }
@@ -250,7 +300,7 @@ mod tests {
         let g = grid(8, 8);
         let (cluster, pg) = setup(g, 8, 4);
         let engine = MapReduceEngine::new(&cluster, &pg);
-        let run = engine.run(&DegreeMapper, &SumReducer);
+        let run = engine.run(&DegreeMapper, &SumReducer).unwrap();
         // 64 emitted pairs x 12 bytes, minus pairs whose reducer happens to
         // be the map machine.
         assert!(run.report.network_bytes > 0);
@@ -264,8 +314,8 @@ mod tests {
         let g = grid(5, 5);
         let (cluster, pg) = setup(g, 4, 2);
         let engine = MapReduceEngine::new(&cluster, &pg);
-        let a = engine.run(&DegreeMapper, &SumReducer);
-        let b = engine.run(&DegreeMapper, &SumReducer);
+        let a = engine.run(&DegreeMapper, &SumReducer).unwrap();
+        let b = engine.run(&DegreeMapper, &SumReducer).unwrap();
         assert_eq!(a.outputs, b.outputs);
         assert_eq!(a.report.response_time, b.report.response_time);
     }
@@ -278,8 +328,75 @@ mod tests {
         let cluster = ClusterConfig::flat(2).build();
         let placement = vec![MachineId(0), MachineId(1), MachineId(0), MachineId(1)];
         let pg = PartitionedGraph::from_parts(Arc::new(g), part, placement);
-        let run = MapReduceEngine::new(&cluster, &pg).run(&DegreeMapper, &SumReducer);
+        let run = MapReduceEngine::new(&cluster, &pg).run(&DegreeMapper, &SumReducer).unwrap();
         let total: u64 = run.outputs.iter().map(|(_, c)| c).sum();
         assert_eq!(total, 4);
+    }
+
+    /// Mapper that panics on one partition.
+    struct PoisonedMapper;
+    impl PartitionMapper for PoisonedMapper {
+        type Key = u32;
+        type Value = u64;
+        fn map(&self, _pg: &PartitionedGraph, pid: u32, out: &mut Emitter<u32, u64>) {
+            if pid == 2 {
+                panic!("poisoned map");
+            }
+            out.emit(pid, 1);
+        }
+    }
+
+    /// Reducer that panics on a chosen key.
+    struct PoisonedReducer;
+    impl Reducer for PoisonedReducer {
+        type Key = u32;
+        type Value = u64;
+        type Out = (u32, u64);
+        fn reduce(&self, key: &u32, values: &[u64], out: &mut Vec<(u32, u64)>) {
+            assert_ne!(*key, 17, "poisoned reduce");
+            out.push((*key, values.iter().sum()));
+        }
+    }
+
+    #[test]
+    fn map_panic_names_the_partition() {
+        let g = grid(6, 6);
+        let (cluster, pg) = setup(g, 4, 4);
+        for threads in [1, 2, 0] {
+            let engine = MapReduceEngine::new(&cluster, &pg).with_threads(threads);
+            let err = engine.run(&PoisonedMapper, &SumReducer).unwrap_err();
+            match err {
+                MapReduceError::MapPanic { partition, ref message } => {
+                    assert_eq!(partition, 2);
+                    assert!(message.contains("poisoned map"));
+                }
+                other => panic!("expected MapPanic, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn reduce_panic_is_typed() {
+        let g = grid(6, 6);
+        let reference = surfer_graph::properties::degree_histogram(&g);
+        // Poison a key that actually occurs (keys here are out-degrees).
+        let poisoned_key = reference[0].0;
+        struct PanicOn(u32);
+        impl Reducer for PanicOn {
+            type Key = u32;
+            type Value = u64;
+            type Out = (u32, u64);
+            fn reduce(&self, key: &u32, values: &[u64], out: &mut Vec<(u32, u64)>) {
+                assert_ne!(*key, self.0, "poisoned reduce");
+                out.push((*key, values.iter().sum()));
+            }
+        }
+        let (cluster, pg) = setup(g, 4, 4);
+        let engine = MapReduceEngine::new(&cluster, &pg);
+        let err = engine.run(&DegreeMapper, &PanicOn(poisoned_key)).unwrap_err();
+        assert!(matches!(err, MapReduceError::ReducePanic { .. }), "got {err:?}");
+        // PoisonedReducer's key never occurs: the job succeeds.
+        let ok = engine.run(&DegreeMapper, &PoisonedReducer).unwrap();
+        assert!(!ok.outputs.is_empty());
     }
 }

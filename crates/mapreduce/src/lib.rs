@@ -13,4 +13,4 @@ pub mod api;
 pub mod engine;
 
 pub use api::{Emitter, PartitionMapper, Reducer};
-pub use engine::{MapReduceEngine, MapReduceRun};
+pub use engine::{MapReduceEngine, MapReduceError, MapReduceRun};

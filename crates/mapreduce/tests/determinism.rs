@@ -46,11 +46,11 @@ fn outputs_and_reports_match_across_threads() {
 
     let seq = MapReduceEngine::new(&cluster, &pg)
         .with_threads(1)
-        .run(&EdgeWeightMapper, &SumReducer);
+        .run(&EdgeWeightMapper, &SumReducer).unwrap();
     for t in [2usize, 3, 8, 0] {
         let par = MapReduceEngine::new(&cluster, &pg)
             .with_threads(t)
-            .run(&EdgeWeightMapper, &SumReducer);
+            .run(&EdgeWeightMapper, &SumReducer).unwrap();
         assert_eq!(seq.outputs.len(), par.outputs.len());
         assert!(
             seq.outputs

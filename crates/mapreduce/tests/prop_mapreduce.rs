@@ -65,7 +65,7 @@ proptest! {
         };
         let pg = setup(&g, p, 3, seed);
         let engine = MapReduceEngine::new(&cluster, &pg);
-        let mut run = engine.run(&InDegreeMapper, &SumReducer);
+        let mut run = engine.run(&InDegreeMapper, &SumReducer).unwrap();
         run.outputs.sort_unstable();
         prop_assert_eq!(run.outputs, reference);
     }
@@ -75,7 +75,7 @@ proptest! {
         let p = 2u32.min(g.num_vertices());
         let pg = setup(&g, p, 2, seed);
         let cluster = ClusterConfig::flat(2).build();
-        let run = MapReduceEngine::new(&cluster, &pg).run(&InDegreeMapper, &SumReducer);
+        let run = MapReduceEngine::new(&cluster, &pg).run(&InDegreeMapper, &SumReducer).unwrap();
         // Every emitted pair is 12 bytes; network <= all pairs (some land on
         // their own machine), and disk writes include the full spill.
         let pairs = g.num_edges();
@@ -89,8 +89,8 @@ proptest! {
         let pg = setup(&g, p, 2, seed);
         let cluster = ClusterConfig::flat(2).build();
         let engine = MapReduceEngine::new(&cluster, &pg);
-        let a = engine.run(&InDegreeMapper, &SumReducer);
-        let b = engine.run(&InDegreeMapper, &SumReducer);
+        let a = engine.run(&InDegreeMapper, &SumReducer).unwrap();
+        let b = engine.run(&InDegreeMapper, &SumReducer).unwrap();
         prop_assert_eq!(a.outputs, b.outputs);
         prop_assert_eq!(a.report.response_time, b.report.response_time);
     }

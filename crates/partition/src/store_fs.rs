@@ -6,9 +6,16 @@
 //! blob per partition, round-trippable back into a [`PartitionedGraph`].
 //!
 //! ```text
-//! <dir>/manifest.txt      partitions, vertex counts, placement
+//! <dir>/manifest.txt      partitions, vertex counts, placement, checksums
 //! <dir>/part-<pid>.adj    concatenated adjacency records of the members
 //! ```
+//!
+//! Everything on this path is **checksummed**: the manifest (v2) records a
+//! CRC32 per partition blob, verified on load, and [`write_snapshot`] /
+//! [`read_snapshot`] provide a framed, CRC32-guarded container for
+//! per-partition *state* snapshots (the checkpoint files of the
+//! fault-tolerant execution path). Bit rot surfaces as
+//! [`GraphError::Corrupt`], never as silently wrong vertex states.
 
 use crate::assignment::Partitioning;
 use crate::partitioned::PartitionedGraph;
@@ -20,6 +27,101 @@ use surfer_graph::adjacency::{AdjacencyRecord, RecordReader};
 use surfer_graph::{GraphBuilder, GraphError, Result};
 use bytes::BytesMut;
 
+/// CRC-32 (IEEE 802.3, the zlib/gzip polynomial) of `data`.
+///
+/// Table-driven, dependency-free; byte-for-byte compatible with zlib's
+/// `crc32`, so externally written checksums verify too.
+pub fn crc32(data: &[u8]) -> u32 {
+    const fn table() -> [u32; 256] {
+        let mut t = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 { 0xEDB8_8320 ^ (c >> 1) } else { c >> 1 };
+                k += 1;
+            }
+            t[i] = c;
+            i += 1;
+        }
+        t
+    }
+    const TABLE: [u32; 256] = table();
+    let mut crc = !0u32;
+    for &b in data {
+        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Magic prefix of a snapshot file.
+const SNAPSHOT_MAGIC: &[u8; 4] = b"SFSN";
+/// Snapshot header: magic(4) + iteration(4) + pid(4) + len(8) + crc(4).
+const SNAPSHOT_HEADER: usize = 24;
+
+/// Write a checksummed state snapshot of partition `pid` at checkpoint
+/// iteration `iteration` to `path` (parent directories created if missing).
+///
+/// Layout: `"SFSN"` magic, then iteration, pid, payload length and CRC32 of
+/// the payload (all little-endian), then the payload itself. The write goes
+/// through a `.tmp` sibling + rename so a crash mid-write never leaves a
+/// plausible-looking half snapshot behind.
+pub fn write_snapshot(path: impl AsRef<Path>, iteration: u32, pid: u32, payload: &[u8]) -> Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let mut buf = Vec::with_capacity(SNAPSHOT_HEADER + payload.len());
+    buf.extend_from_slice(SNAPSHOT_MAGIC);
+    buf.extend_from_slice(&iteration.to_le_bytes());
+    buf.extend_from_slice(&pid.to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&crc32(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+    let tmp = path.with_extension("tmp");
+    std::fs::write(&tmp, &buf)?;
+    std::fs::rename(&tmp, path)?;
+    Ok(())
+}
+
+/// Read a snapshot written by [`write_snapshot`], verifying magic, partition
+/// id, framing and checksum. Returns `(iteration, payload)`.
+///
+/// Any mismatch — wrong magic, wrong partition, truncated payload, CRC
+/// failure — is reported as [`GraphError::Corrupt`], which is what lets
+/// recovery fall back to the next replica instead of resuming from damaged
+/// state.
+pub fn read_snapshot(path: impl AsRef<Path>, expect_pid: u32) -> Result<(u32, Vec<u8>)> {
+    let path = path.as_ref();
+    let blob = std::fs::read(path)?;
+    let corrupt =
+        |msg: String| GraphError::Corrupt(format!("snapshot {}: {msg}", path.display()));
+    if blob.len() < SNAPSHOT_HEADER || &blob[..4] != SNAPSHOT_MAGIC {
+        return Err(corrupt("bad magic or truncated header".into()));
+    }
+    let le32 = |at: usize| u32::from_le_bytes(blob[at..at + 4].try_into().unwrap());
+    let iteration = le32(4);
+    let pid = le32(8);
+    let len = u64::from_le_bytes(blob[12..20].try_into().unwrap()) as usize;
+    let crc = le32(20);
+    if pid != expect_pid {
+        return Err(corrupt(format!("holds partition {pid}, expected {expect_pid}")));
+    }
+    if blob.len() != SNAPSHOT_HEADER + len {
+        return Err(corrupt(format!(
+            "payload is {} bytes, header says {len}",
+            blob.len() - SNAPSHOT_HEADER.min(blob.len())
+        )));
+    }
+    let payload = &blob[SNAPSHOT_HEADER..];
+    let actual = crc32(payload);
+    if actual != crc {
+        return Err(corrupt(format!("checksum mismatch (stored {crc:#010x}, computed {actual:#010x})")));
+    }
+    Ok((iteration, payload.to_vec()))
+}
+
 /// Manifest of a stored partitioned graph.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Manifest {
@@ -27,6 +129,9 @@ pub struct Manifest {
     pub num_vertices: u32,
     /// One entry per partition: `(machine, member count)`.
     pub partitions: Vec<(MachineId, u32)>,
+    /// CRC32 of each partition's `.adj` blob; empty when loaded from a v1
+    /// manifest (written before checksumming existed).
+    pub checksums: Vec<u32>,
 }
 
 /// Write `pg` into `dir` (created if missing).
@@ -34,7 +139,11 @@ pub fn write_partitioned(dir: impl AsRef<Path>, pg: &PartitionedGraph) -> Result
     let dir = dir.as_ref();
     std::fs::create_dir_all(dir)?;
     let g = pg.graph();
-    let mut manifest = Manifest { num_vertices: g.num_vertices(), partitions: Vec::new() };
+    let mut manifest = Manifest {
+        num_vertices: g.num_vertices(),
+        partitions: Vec::new(),
+        checksums: Vec::new(),
+    };
     for pid in pg.partitions() {
         let meta = pg.meta(pid);
         let mut buf = BytesMut::with_capacity(meta.bytes as usize);
@@ -43,13 +152,14 @@ pub fn write_partitioned(dir: impl AsRef<Path>, pg: &PartitionedGraph) -> Result
         }
         std::fs::write(dir.join(format!("part-{pid}.adj")), &buf)?;
         manifest.partitions.push((pg.machine_of(pid), meta.members.len() as u32));
+        manifest.checksums.push(crc32(&buf));
     }
     let mut f = std::fs::File::create(dir.join("manifest.txt"))?;
-    writeln!(f, "surfer-partitions v1")?;
+    writeln!(f, "surfer-partitions v2")?;
     writeln!(f, "vertices {}", manifest.num_vertices)?;
     writeln!(f, "partitions {}", manifest.partitions.len())?;
     for (pid, (m, count)) in manifest.partitions.iter().enumerate() {
-        writeln!(f, "{pid} {} {count}", m.0)?;
+        writeln!(f, "{pid} {} {count} {:08x}", m.0, manifest.checksums[pid])?;
     }
     Ok(manifest)
 }
@@ -59,9 +169,13 @@ pub fn read_manifest(dir: impl AsRef<Path>) -> Result<Manifest> {
     let text = std::fs::read_to_string(dir.as_ref().join("manifest.txt"))?;
     let mut lines = text.lines();
     let corrupt = |msg: &str| GraphError::Corrupt(format!("manifest: {msg}"));
-    if lines.next() != Some("surfer-partitions v1") {
-        return Err(corrupt("bad header"));
-    }
+    // v1 manifests (pre-checksum) are still readable; they just carry no
+    // per-partition CRCs for load_partitioned to verify.
+    let has_checksums = match lines.next() {
+        Some("surfer-partitions v1") => false,
+        Some("surfer-partitions v2") => true,
+        _ => return Err(corrupt("bad header")),
+    };
     let field = |line: Option<&str>, key: &str| -> Result<u32> {
         let line = line.ok_or_else(|| corrupt("truncated"))?;
         let rest = line
@@ -72,6 +186,7 @@ pub fn read_manifest(dir: impl AsRef<Path>) -> Result<Manifest> {
     let num_vertices = field(lines.next(), "vertices ")?;
     let count = field(lines.next(), "partitions ")?;
     let mut partitions = Vec::with_capacity(count as usize);
+    let mut checksums = Vec::new();
     for pid in 0..count {
         let line = lines.next().ok_or_else(|| corrupt("missing partition row"))?;
         let mut it = line.split_whitespace();
@@ -85,13 +200,38 @@ pub fn read_manifest(dir: impl AsRef<Path>) -> Result<Manifest> {
         let members: u32 =
             it.next().and_then(|t| t.parse().ok()).ok_or_else(|| corrupt("bad count"))?;
         partitions.push((MachineId(machine), members));
+        if has_checksums {
+            let crc = it
+                .next()
+                .and_then(|t| u32::from_str_radix(t, 16).ok())
+                .ok_or_else(|| corrupt("bad checksum"))?;
+            checksums.push(crc);
+        }
     }
-    Ok(Manifest { num_vertices, partitions })
+    Ok(Manifest { num_vertices, partitions, checksums })
 }
 
 /// Read one partition's raw records.
 pub fn read_partition(dir: impl AsRef<Path>, pid: u32) -> Result<Vec<AdjacencyRecord>> {
+    read_partition_verified(dir, pid, None)
+}
+
+/// [`read_partition`] that additionally checks the blob's CRC32 against
+/// `expect_crc` (from a v2 manifest) before decoding.
+pub fn read_partition_verified(
+    dir: impl AsRef<Path>,
+    pid: u32,
+    expect_crc: Option<u32>,
+) -> Result<Vec<AdjacencyRecord>> {
     let blob = std::fs::read(dir.as_ref().join(format!("part-{pid}.adj")))?;
+    if let Some(want) = expect_crc {
+        let got = crc32(&blob);
+        if got != want {
+            return Err(GraphError::Corrupt(format!(
+                "partition {pid} blob checksum mismatch (manifest {want:#010x}, file {got:#010x})"
+            )));
+        }
+    }
     RecordReader::new(&blob).collect()
 }
 
@@ -103,7 +243,8 @@ pub fn load_partitioned(dir: impl AsRef<Path>) -> Result<PartitionedGraph> {
     let mut pids = vec![u32::MAX; manifest.num_vertices as usize];
     let mut b = GraphBuilder::new(manifest.num_vertices);
     for pid in 0..p {
-        for rec in read_partition(dir, pid)? {
+        let expect_crc = manifest.checksums.get(pid as usize).copied();
+        for rec in read_partition_verified(dir, pid, expect_crc)? {
             if rec.id.0 >= manifest.num_vertices {
                 return Err(GraphError::VertexOutOfRange {
                     vertex: rec.id.0 as u64,
@@ -201,5 +342,92 @@ mod tests {
         write_partitioned(&dir, &pg).unwrap();
         std::fs::remove_file(dir.join("part-2.adj")).unwrap();
         assert!(load_partitioned(&dir).is_err());
+    }
+
+    #[test]
+    fn crc32_matches_ieee_check_value() {
+        // The classic CRC-32/IEEE check vector.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn flipped_bit_in_partition_blob_is_detected() {
+        let pg = fixture();
+        let dir = tmp("bitrot");
+        write_partitioned(&dir, &pg).unwrap();
+        let path = dir.join("part-1.adj");
+        let mut blob = std::fs::read(&path).unwrap();
+        let mid = blob.len() / 2;
+        blob[mid] ^= 0x10;
+        std::fs::write(&path, &blob).unwrap();
+        let err = load_partitioned(&dir).unwrap_err();
+        assert!(
+            matches!(err, GraphError::Corrupt(ref m) if m.contains("checksum")),
+            "expected checksum error, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn v1_manifest_without_checksums_still_loads() {
+        let pg = fixture();
+        let dir = tmp("v1-compat");
+        write_partitioned(&dir, &pg).unwrap();
+        // Rewrite the manifest in v1 format (no checksum column).
+        let manifest = read_manifest(&dir).unwrap();
+        let mut text = String::from("surfer-partitions v1\n");
+        text.push_str(&format!("vertices {}\n", manifest.num_vertices));
+        text.push_str(&format!("partitions {}\n", manifest.partitions.len()));
+        for (pid, (m, count)) in manifest.partitions.iter().enumerate() {
+            text.push_str(&format!("{pid} {} {count}\n", m.0));
+        }
+        std::fs::write(dir.join("manifest.txt"), text).unwrap();
+        let loaded = read_manifest(&dir).unwrap();
+        assert!(loaded.checksums.is_empty());
+        let back = load_partitioned(&dir).unwrap();
+        assert_eq!(back.graph(), pg.graph());
+    }
+
+    #[test]
+    fn snapshot_roundtrip() {
+        let dir = tmp("snapshot");
+        let payload: Vec<u8> = (0..=255).cycle().take(10_000).collect();
+        let path = dir.join("m0").join("part-3.ckpt");
+        write_snapshot(&path, 7, 3, &payload).unwrap();
+        let (iteration, back) = read_snapshot(&path, 3).unwrap();
+        assert_eq!(iteration, 7);
+        assert_eq!(back, payload);
+    }
+
+    #[test]
+    fn corrupted_snapshot_fails_checksum() {
+        let dir = tmp("snapshot-corrupt");
+        let path = dir.join("part-0.ckpt");
+        write_snapshot(&path, 2, 0, b"state bytes that matter").unwrap();
+        let mut blob = std::fs::read(&path).unwrap();
+        let last = blob.len() - 1;
+        blob[last] ^= 0xFF;
+        std::fs::write(&path, &blob).unwrap();
+        let err = read_snapshot(&path, 0).unwrap_err();
+        assert!(
+            matches!(err, GraphError::Corrupt(ref m) if m.contains("checksum")),
+            "expected checksum error, got {err:?}"
+        );
+    }
+
+    #[test]
+    fn truncated_and_mislabelled_snapshots_are_rejected() {
+        let dir = tmp("snapshot-bad");
+        let path = dir.join("part-5.ckpt");
+        write_snapshot(&path, 1, 5, b"0123456789").unwrap();
+        // Wrong partition id.
+        assert!(matches!(read_snapshot(&path, 6), Err(GraphError::Corrupt(_))));
+        // Truncated payload.
+        let blob = std::fs::read(&path).unwrap();
+        std::fs::write(&path, &blob[..blob.len() - 3]).unwrap();
+        assert!(matches!(read_snapshot(&path, 5), Err(GraphError::Corrupt(_))));
+        // Not a snapshot at all.
+        std::fs::write(&path, b"junk").unwrap();
+        assert!(matches!(read_snapshot(&path, 5), Err(GraphError::Corrupt(_))));
     }
 }

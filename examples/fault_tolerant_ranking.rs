@@ -24,7 +24,7 @@ fn main() {
 
     // Normal run.
     let mut clean = engine.init_state(&prog);
-    let normal = engine.run_iteration(&prog, &mut clean);
+    let normal = engine.run_iteration(&prog, &mut clean).unwrap();
     println!("normal iteration: {:.2}s", normal.response_time.as_secs_f64());
     println!("{}", render_gantt(&normal, 72));
 
@@ -36,7 +36,8 @@ fn main() {
         &prog,
         &mut recovered,
         &[Fault { machine: victim, at: SimTime::from_secs_f64(kill_at) }],
-    );
+    )
+    .unwrap();
 
     println!(
         "killed {victim} at t={kill_at:.2}s -> detected by heartbeat, {} tasks re-planned",

@@ -34,7 +34,7 @@ fn main() {
     );
 
     // 4. Run 5 PageRank iterations with the propagation primitive.
-    let run = surfer.run(&NetworkRanking::new(5));
+    let run = surfer.run(&NetworkRanking::new(5)).unwrap();
     println!(
         "ranked {} vertices in {:.2}s simulated time ({} MB over the network)",
         run.output.ranks.len(),

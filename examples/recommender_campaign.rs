@@ -23,7 +23,7 @@ fn main() {
     for rounds in 0..=5 {
         let mut campaign = RecommenderSystem::new(rounds, 777);
         campaign.accept_probability = 0.3;
-        let run = surfer.run(&campaign);
+        let run = surfer.run(&campaign).unwrap();
         println!(
             "{rounds:>6} {:>9} {:>9.1}% {:>12.2}",
             run.output.count(),
@@ -37,7 +37,7 @@ fn main() {
     for p in [0.1, 0.3, 0.5, 0.9] {
         let mut campaign = RecommenderSystem::new(5, 777);
         campaign.accept_probability = p;
-        let run = surfer.run(&campaign);
+        let run = surfer.run(&campaign).unwrap();
         println!(
             "  p = {:.1}: {} adopters ({:.1}%)",
             p,

@@ -23,7 +23,7 @@ fn main() {
     for level in OptimizationLevel::ALL {
         let cluster = ClusterConfig::paper_regime(Topology::t2(2, 1, 8)).build();
         let surfer = Surfer::builder(cluster).partitions(16).optimization(level).load(&graph);
-        let run = surfer.run(&app);
+        let run = surfer.run(&app).unwrap();
         println!(
             "{:<6} {:>12.2} {:>14.2} {:>12.1}",
             level.to_string(),
@@ -45,8 +45,8 @@ fn main() {
     let cluster = ClusterConfig::paper_regime(Topology::t2(2, 1, 8)).build();
     let surfer =
         Surfer::builder(cluster).partitions(16).optimization(OptimizationLevel::O4).load(&graph);
-    let prop = surfer.run(&app);
-    let mr = surfer.run_mapreduce(&app);
+    let prop = surfer.run(&app).unwrap();
+    let mr = surfer.run_mapreduce(&app).unwrap();
     println!(
         "\nMapReduce: {:.2}s / {:.1} MB network;  propagation: {:.2}s / {:.1} MB network",
         mr.report.response_time.as_secs_f64(),

@@ -20,8 +20,8 @@ fn main() {
 
     // 10% of accounts push their friend lists (the paper's selection ratio).
     let app = TwoHopFriends::new(99);
-    let prop = surfer.run(&app);
-    let mr = surfer.run_mapreduce(&app);
+    let prop = surfer.run(&app).unwrap();
+    let mr = surfer.run_mapreduce(&app).unwrap();
 
     println!(
         "two-hop lists for {} accounts ({} candidate pairs total)",

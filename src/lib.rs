@@ -29,7 +29,7 @@
 //!     .partitions(4)
 //!     .optimization(OptimizationLevel::O4)
 //!     .load(&graph);
-//! let run = surfer.run(&NetworkRanking::new(3));
+//! let run = surfer.run(&NetworkRanking::new(3)).unwrap();
 //! assert_eq!(run.output.ranks.len(), graph.num_vertices() as usize);
 //! ```
 

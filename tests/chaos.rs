@@ -1,0 +1,236 @@
+//! Chaos acceptance tests: the end-to-end fault-tolerance path of
+//! `run_with_recovery` under deterministic fault schedules. Every scenario
+//! must end with vertex states bit-identical to a fault-free run — at every
+//! worker-thread count — or fail with a *typed* error, never a panic.
+
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::Arc;
+use surfer::apps::pagerank::PageRankPropagation;
+use surfer::cluster::{
+    ClusterConfig, FaultPlan, MachineCrash, MachineId, SimCluster, SnapshotCorruption, UdfPanicAt,
+};
+use surfer::core::{
+    run_with_recovery, EngineOptions, PropagationEngine, RecoveryConfig, SurferError,
+};
+use surfer::graph::builder::from_edges;
+use surfer::partition::{PartitionedGraph, Partitioning};
+
+const ITERATIONS: u32 = 6;
+const INTERVAL: u32 = 2;
+
+/// A 12-cycle over 4 partitions on 4 machines: every partition has
+/// cross-partition edges, and flat T1 replication gives each partition three
+/// distinct replica holders.
+fn fixture() -> (SimCluster, PartitionedGraph) {
+    let g = from_edges(12, (0..12u32).map(|v| (v, (v + 1) % 12)).collect::<Vec<_>>());
+    let p = Partitioning::new((0..12u32).map(|v| v / 3).collect(), 4);
+    let placement = (0..4).map(MachineId).collect();
+    let pg = PartitionedGraph::from_parts(Arc::new(g), p, placement);
+    (ClusterConfig::flat(4).build(), pg)
+}
+
+fn prog() -> PageRankPropagation {
+    PageRankPropagation { damping: 0.85, n: 12 }
+}
+
+fn tmp(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("surfer-chaos-it-{name}"));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn bits(s: &[f64]) -> Vec<u64> {
+    s.iter().map(|x| x.to_bits()).collect()
+}
+
+/// Crash + UDF panic recover to bit-identical results at every thread count.
+#[test]
+fn crash_and_panic_recover_bit_identically_at_every_thread_count() {
+    let (c, pg) = fixture();
+    let p = prog();
+    let engine = PropagationEngine::new(&c, &pg, EngineOptions::full());
+    let mut baseline = engine.init_state(&p);
+    engine.run(&p, &mut baseline, ITERATIONS).unwrap();
+
+    let plan = FaultPlan {
+        crashes: vec![MachineCrash { machine: MachineId(0), at_iteration: 3 }],
+        udf_panics: vec![UdfPanicAt { iteration: 1, vertex: 4 }],
+        corruptions: vec![],
+    };
+    for threads in [1usize, 2, 0] {
+        let cfg = RecoveryConfig::new(INTERVAL, tmp(&format!("threads-{threads}")));
+        let mut state = engine.init_state(&p);
+        let out = run_with_recovery(
+            &c,
+            &pg,
+            EngineOptions::full().threads(threads),
+            &p,
+            &mut state,
+            ITERATIONS,
+            &cfg,
+            &plan,
+        )
+        .unwrap();
+        assert_eq!(
+            bits(&state),
+            bits(&baseline),
+            "threads={threads}: recovery diverged from the fault-free run"
+        );
+        assert_eq!(out.stats.machine_crashes, 1);
+        assert!(out.stats.restores >= 1);
+        assert!(out.stats.udf_retries >= 1);
+        let _ = std::fs::remove_dir_all(&cfg.dir);
+    }
+}
+
+/// A corrupted snapshot copy is rejected by its checksum and the restore
+/// falls over to the next replica — results still bit-identical.
+#[test]
+fn corrupt_snapshot_falls_back_to_next_replica() {
+    let (c, pg) = fixture();
+    let p = prog();
+    let engine = PropagationEngine::new(&c, &pg, EngineOptions::full());
+    let mut baseline = engine.init_state(&p);
+    engine.run(&p, &mut baseline, ITERATIONS).unwrap();
+
+    // Partition 0's replicas on flat T1 are [m0, m1, m2]. Kill the primary
+    // and corrupt the copy on m1: the restore must skip the dead primary,
+    // reject m1's copy by CRC, and serve from m2.
+    let plan = FaultPlan {
+        crashes: vec![MachineCrash { machine: MachineId(0), at_iteration: 3 }],
+        udf_panics: vec![],
+        corruptions: vec![SnapshotCorruption { checkpoint: 2, partition: 0, replica: 1 }],
+    };
+    let cfg = RecoveryConfig::new(INTERVAL, tmp("corrupt-one"));
+    let mut state = engine.init_state(&p);
+    let out = run_with_recovery(
+        &c,
+        &pg,
+        EngineOptions::full(),
+        &p,
+        &mut state,
+        ITERATIONS,
+        &cfg,
+        &plan,
+    )
+    .unwrap();
+    assert_eq!(bits(&state), bits(&baseline), "checksum fallback changed results");
+    assert!(out.stats.corrupt_snapshots >= 1, "CRC must reject the corrupted copy");
+    assert!(out.stats.replica_failovers >= 1, "restore must skip the dead primary");
+    let _ = std::fs::remove_dir_all(&cfg.dir);
+}
+
+/// Exhausting every replica of a partition is a typed error, not a panic.
+#[test]
+fn exhausting_all_replicas_is_a_typed_error() {
+    let (c, pg) = fixture();
+    let p = prog();
+    let engine = PropagationEngine::new(&c, &pg, EngineOptions::full());
+
+    let plan = FaultPlan {
+        crashes: vec![MachineCrash { machine: MachineId(0), at_iteration: 3 }],
+        udf_panics: vec![],
+        corruptions: vec![
+            SnapshotCorruption { checkpoint: 2, partition: 0, replica: 1 },
+            SnapshotCorruption { checkpoint: 2, partition: 0, replica: 2 },
+        ],
+    };
+    let cfg = RecoveryConfig::new(INTERVAL, tmp("corrupt-all"));
+    let mut state = engine.init_state(&p);
+    let err = run_with_recovery(
+        &c,
+        &pg,
+        EngineOptions::full(),
+        &p,
+        &mut state,
+        ITERATIONS,
+        &cfg,
+        &plan,
+    )
+    .unwrap_err();
+    match err {
+        SurferError::ReplicasExhausted { partition, iteration } => {
+            assert_eq!(partition, 0);
+            assert_eq!(iteration, 2, "the restore targets the last checkpoint");
+        }
+        other => panic!("expected ReplicasExhausted, got {other:?}"),
+    }
+    let _ = std::fs::remove_dir_all(&cfg.dir);
+}
+
+/// Recovery recomputes only the tail between the last checkpoint and the
+/// crash point, never the whole prefix.
+#[test]
+fn recovery_recomputes_only_the_tail() {
+    let (c, pg) = fixture();
+    let p = prog();
+    let engine = PropagationEngine::new(&c, &pg, EngineOptions::full());
+
+    // Crash at iteration 5 with interval 2: last checkpoint is 4, so
+    // exactly one tail iteration (4) is recomputed.
+    let plan = FaultPlan {
+        crashes: vec![MachineCrash { machine: MachineId(1), at_iteration: 5 }],
+        udf_panics: vec![],
+        corruptions: vec![],
+    };
+    let cfg = RecoveryConfig::new(INTERVAL, tmp("tail"));
+    let mut state = engine.init_state(&p);
+    let out = run_with_recovery(
+        &c,
+        &pg,
+        EngineOptions::full(),
+        &p,
+        &mut state,
+        ITERATIONS,
+        &cfg,
+        &plan,
+    )
+    .unwrap();
+    assert_eq!(out.stats.tail_iterations_recomputed, 5 - 4);
+    let _ = std::fs::remove_dir_all(&cfg.dir);
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Seeded chaos: any survivable random fault plan ends bit-identical to
+    /// the fault-free run, and the same seed reproduces the exact same
+    /// execution report.
+    #[test]
+    fn seeded_fault_plans_are_deterministic_and_recoverable(seed in 0u64..500) {
+        let (c, pg) = fixture();
+        let p = prog();
+        let engine = PropagationEngine::new(&c, &pg, EngineOptions::full());
+        let mut baseline = engine.init_state(&p);
+        engine.run(&p, &mut baseline, ITERATIONS).unwrap();
+
+        let plan = FaultPlan::random(seed, 4, ITERATIONS, 4, 12);
+        let mut reports = Vec::new();
+        for rep in 0..2 {
+            let cfg = RecoveryConfig::new(INTERVAL, tmp(&format!("seed-{seed}-{rep}")));
+            let mut state = engine.init_state(&p);
+            let out = run_with_recovery(
+                &c,
+                &pg,
+                EngineOptions::full(),
+                &p,
+                &mut state,
+                ITERATIONS,
+                &cfg,
+                &plan,
+            )
+            .unwrap();
+            prop_assert_eq!(
+                bits(&state),
+                bits(&baseline),
+                "seed {}: chaos run diverged from fault-free",
+                seed
+            );
+            reports.push((format!("{:?}", out.report), out.stats));
+            let _ = std::fs::remove_dir_all(&cfg.dir);
+        }
+        prop_assert_eq!(&reports[0].0, &reports[1].0, "same seed must replay the same report");
+        prop_assert_eq!(&reports[0].1, &reports[1].1, "same seed must replay the same stats");
+    }
+}

@@ -28,8 +28,8 @@ fn pagerank_matches_reference_on_both_primitives() {
     let (g, s) = fixture();
     let app = NetworkRanking::new(4);
     let reference = app.reference(&g);
-    let prop = s.run(&app);
-    let mr = s.run_mapreduce(&app);
+    let prop = s.run(&app).unwrap();
+    let mr = s.run_mapreduce(&app).unwrap();
     assert!(prop.output.approx_eq(&reference, 1e-12));
     assert!(mr.output.approx_eq(&reference, 1e-9));
 }
@@ -39,8 +39,8 @@ fn recommender_matches_reference() {
     let (g, s) = fixture();
     let app = RecommenderSystem::new(4, SEED);
     let reference = app.reference(&g);
-    assert_eq!(s.run(&app).output, reference);
-    assert_eq!(s.run_mapreduce(&app).output, reference);
+    assert_eq!(s.run(&app).unwrap().output, reference);
+    assert_eq!(s.run_mapreduce(&app).unwrap().output, reference);
     assert!(reference.count() > 0, "campaign should spread");
 }
 
@@ -49,8 +49,8 @@ fn triangle_count_matches_reference() {
     let (g, s) = fixture();
     let app = TriangleCounting::new(SEED);
     let reference = app.reference(&g);
-    assert_eq!(s.run(&app).output, reference);
-    assert_eq!(s.run_mapreduce(&app).output, reference);
+    assert_eq!(s.run(&app).unwrap().output, reference);
+    assert_eq!(s.run_mapreduce(&app).unwrap().output, reference);
     assert!(reference.triangles > 0, "sample found no triangles");
 }
 
@@ -58,16 +58,16 @@ fn triangle_count_matches_reference() {
 fn degree_distribution_matches_reference() {
     let (g, s) = fixture();
     let reference = VertexDegreeDistribution.reference(&g);
-    assert_eq!(s.run(&VertexDegreeDistribution).output, reference);
-    assert_eq!(s.run_mapreduce(&VertexDegreeDistribution).output, reference);
+    assert_eq!(s.run(&VertexDegreeDistribution).unwrap().output, reference);
+    assert_eq!(s.run_mapreduce(&VertexDegreeDistribution).unwrap().output, reference);
 }
 
 #[test]
 fn reverse_link_graph_matches_reference() {
     let (g, s) = fixture();
     let reference = ReverseLinkGraph.reference(&g);
-    assert_eq!(s.run(&ReverseLinkGraph).output, reference);
-    assert_eq!(s.run_mapreduce(&ReverseLinkGraph).output, reference);
+    assert_eq!(s.run(&ReverseLinkGraph).unwrap().output, reference);
+    assert_eq!(s.run_mapreduce(&ReverseLinkGraph).unwrap().output, reference);
 }
 
 #[test]
@@ -75,8 +75,8 @@ fn two_hop_lists_match_reference() {
     let (g, s) = fixture();
     let app = TwoHopFriends::new(SEED);
     let reference = app.reference(&g);
-    assert_eq!(s.run(&app).output, reference);
-    assert_eq!(s.run_mapreduce(&app).output, reference);
+    assert_eq!(s.run(&app).unwrap().output, reference);
+    assert_eq!(s.run_mapreduce(&app).unwrap().output, reference);
 }
 
 #[test]
@@ -88,7 +88,7 @@ fn results_are_invariant_to_optimization_level() {
     for level in OptimizationLevel::ALL {
         let cluster = ClusterConfig::tree(2, 1, 8).build();
         let s = Surfer::builder(cluster).partitions(8).optimization(level).load(&graph);
-        outputs.push(s.run(&app).output);
+        outputs.push(s.run(&app).unwrap().output);
     }
     for o in &outputs[1..] {
         assert!(o.approx_eq(&outputs[0], 1e-12), "optimization level changed results");
@@ -104,7 +104,7 @@ fn results_are_invariant_to_partition_count() {
         let cluster = ClusterConfig::flat(4).build();
         let s = Surfer::builder(cluster).partitions(p).load(&graph);
         assert!(
-            s.run(&app).output.approx_eq(&reference, 1e-12),
+            s.run(&app).unwrap().output.approx_eq(&reference, 1e-12),
             "results diverged at P = {p}"
         );
     }

@@ -23,7 +23,7 @@ fn single_failure_recovers_with_identical_results() {
     let prog = PageRankPropagation { damping: 0.85, n };
 
     let mut clean = engine.init_state(&prog);
-    let normal = engine.run_iteration(&prog, &mut clean);
+    let normal = engine.run_iteration(&prog, &mut clean).unwrap();
 
     let victim = s.partitioned().machine_of(0);
     let kill_at = SimTime::from_secs_f64(normal.response_time.as_secs_f64() * 0.4);
@@ -32,7 +32,8 @@ fn single_failure_recovers_with_identical_results() {
         &prog,
         &mut faulty_state,
         &[Fault { machine: victim, at: kill_at }],
-    );
+    )
+    .unwrap();
 
     assert_eq!(clean, faulty_state, "recovery changed application results");
     assert!(faulty.tasks_recovered > 0);
@@ -53,7 +54,8 @@ fn failure_before_start_just_relocates_work() {
         &prog,
         &mut state,
         &[Fault { machine: victim, at: SimTime::ZERO }],
-    );
+    )
+    .unwrap();
     assert!(report.tasks_recovered >= 2, "transfer+combine of the victim's partitions move");
     // Dead machine does no work after t=0 (it never started anything).
     assert_eq!(report.machine_busy[victim.index()].0, 0);
@@ -67,11 +69,11 @@ fn two_failures_still_complete() {
     let prog = PageRankPropagation { damping: 0.85, n };
 
     let mut clean = engine.init_state(&prog);
-    engine.run_iteration(&prog, &mut clean);
+    engine.run_iteration(&prog, &mut clean).unwrap();
 
     let normal_secs = {
         let mut st = engine.init_state(&prog);
-        engine.run_iteration(&prog, &mut st).response_time.as_secs_f64()
+        engine.run_iteration(&prog, &mut st).unwrap().response_time.as_secs_f64()
     };
     let m1 = s.partitioned().machine_of(0);
     let m2 = s.partitioned().machine_of(4);
@@ -84,7 +86,8 @@ fn two_failures_still_complete() {
             Fault { machine: m1, at: SimTime::from_secs_f64(normal_secs * 0.2) },
             Fault { machine: m2, at: SimTime::from_secs_f64(normal_secs * 0.5) },
         ],
-    );
+    )
+    .unwrap();
     assert_eq!(clean, state);
     assert!(report.tasks_recovered >= 2);
 }
@@ -102,7 +105,8 @@ fn recovery_reads_replicas_not_the_dead_machine() {
         &prog,
         &mut state,
         &[Fault { machine: victim, at: SimTime::ZERO }],
-    );
+    )
+    .unwrap();
     assert_eq!(
         report.machine_busy[victim.index()].0, 0,
         "dead machine must not execute tasks"
@@ -127,6 +131,7 @@ fn heartbeat_delay_shows_up_in_response_time() {
                 &mut state,
                 &[Fault { machine: victim, at: SimTime::ZERO }],
             )
+            .unwrap()
             .response_time
             .as_secs_f64()
     };

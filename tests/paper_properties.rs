@@ -65,7 +65,7 @@ fn bandwidth_aware_layout_reduces_cross_pod_traffic() {
     let run = |level: OptimizationLevel| {
         let cluster = ClusterConfig::tree(2, 1, 8).build();
         let s = Surfer::builder(cluster).partitions(8).optimization(level).load(&g);
-        s.run(&NetworkRanking::new(2)).report
+        s.run(&NetworkRanking::new(2)).unwrap().report
     };
     let oblivious = run(OptimizationLevel::O3);
     let aware = run(OptimizationLevel::O4);
@@ -86,7 +86,7 @@ fn local_optimizations_cut_traffic_and_disk() {
     let run = |level: OptimizationLevel| {
         let cluster = ClusterConfig::flat(8).build();
         let s = Surfer::builder(cluster).partitions(16).optimization(level).load(&g);
-        s.run(&NetworkRanking::new(2)).report
+        s.run(&NetworkRanking::new(2)).unwrap().report
     };
     let o1 = run(OptimizationLevel::O1);
     let o4 = run(OptimizationLevel::O4);
@@ -120,9 +120,9 @@ fn cascaded_propagation_saves_disk_with_exact_results() {
     let prog = PageRankPropagation { damping: 0.85, n: g.num_vertices() as u64 };
 
     let mut s_naive = engine.init_state(&prog);
-    let naive = engine.run(&prog, &mut s_naive, 4);
+    let naive = engine.run(&prog, &mut s_naive, 4).unwrap();
     let mut s_casc = engine.init_state(&prog);
-    let (casc, analysis) = run_cascaded(&engine, &prog, &mut s_casc, 4);
+    let (casc, analysis) = run_cascaded(&engine, &prog, &mut s_casc, 4).unwrap();
 
     assert_eq!(s_naive, s_casc);
     assert_eq!(casc.network_bytes, naive.network_bytes);
@@ -139,8 +139,8 @@ fn propagation_beats_mapreduce_on_edge_oriented_work() {
     let cluster = ClusterConfig::flat(8).build();
     let s = Surfer::builder(cluster).partitions(8).load(&g);
     let app = NetworkRanking::new(2);
-    let prop = s.run(&app);
-    let mr = s.run_mapreduce(&app);
+    let prop = s.run(&app).unwrap();
+    let mr = s.run_mapreduce(&app).unwrap();
     assert!(prop.report.network_bytes < mr.report.network_bytes);
 }
 

@@ -99,7 +99,7 @@ proptest! {
         let cluster = ClusterConfig::flat(machines).build();
         let engine = PropagationEngine::new(&cluster, &pg, EngineOptions::full());
         let app = NetworkRanking::new(2);
-        let (out, _) = app.run_propagation(&engine);
+        let (out, _) = app.run_propagation(&engine).unwrap();
         prop_assert!(out.approx_eq(&app.reference(&g), 1e-12));
     }
 
@@ -109,7 +109,7 @@ proptest! {
         let p = 2u32.min(g.num_vertices());
         let run = || {
             let s = Surfer::builder(cluster.clone()).partitions(p).load(&g);
-            let r = s.run(&NetworkRanking::new(2));
+            let r = s.run(&NetworkRanking::new(2)).unwrap();
             (r.report.response_time, r.report.network_bytes, r.report.disk_read_bytes)
         };
         prop_assert_eq!(run(), run());
