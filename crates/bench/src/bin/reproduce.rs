@@ -7,14 +7,17 @@
 //! ```
 //!
 //! Subcommands: all, table1, table2, table3, table4, table5, fig6, fig7,
-//! fig9, fig10, fig11, fig12, cascade, bench, chaos. Options:
+//! fig9, fig10, fig11, fig12, cascade, bench, chaos, profile. Options:
 //! `--scale tiny|small|medium|large` (default small), `--machines N`
 //! (default 32), `--partitions P` (default 64).
 //!
 //! `bench` measures host wall-clock of the real propagation computation at
 //! worker-thread counts {1, 2, max} and writes `BENCH_propagation.json`.
 //! `chaos` additionally measures checkpoint + crash-recovery overhead and
-//! splices the result into the same JSON document.
+//! splices the result into the same JSON document. `profile` records a
+//! `surfer-obs` trace of the real execution path (propagation, MapReduce,
+//! checkpoint/restore, replica I/O), writes `TRACE_profile.json`, prints a
+//! per-thread span Gantt, and exits non-zero on schema drift.
 
 use surfer_bench::experiments::*;
 use surfer_bench::{ExpConfig, Workload};
@@ -59,7 +62,7 @@ fn main() {
     let needs_workload = matches!(
         cmd.as_str(),
         "all" | "table1" | "table2" | "table3" | "fig6" | "fig7" | "fig9" | "fig10" | "fig12"
-            | "cascade" | "bench" | "chaos"
+            | "cascade" | "bench" | "chaos" | "profile"
     );
     let workload = needs_workload.then(|| {
         eprintln!("# generating + partitioning the MSN-like graph ...");
@@ -120,8 +123,28 @@ fn main() {
             println!("{}", ablation::run_psize(&cfg).1);
             println!("{}", ablation::run_locality(&cfg).1);
         }
+        "profile" => {
+            let r = profile::run(w.expect("workload"));
+            eprintln!("{}", r.gantt);
+            for st in r.report.stage_summary() {
+                eprintln!(
+                    "# stage {:<22} count {:>5}  total {:>9.3} ms",
+                    st.name,
+                    st.count,
+                    st.total_ns as f64 / 1e6
+                );
+            }
+            std::fs::write("TRACE_profile.json", &r.json)
+                .unwrap_or_else(|e| die(&format!("writing TRACE_profile.json: {e}")));
+            eprintln!("# wrote TRACE_profile.json");
+            let problems = profile::validate_schema(&r.json);
+            if !problems.is_empty() {
+                die(&format!("TRACE_profile.json schema drift: {problems:?}"));
+            }
+            println!("{}", r.json);
+        }
         other => die(&format!(
-            "unknown experiment '{other}' (all|table1..table5|fig6|fig7|fig9|fig10|fig11|fig12|cascade|ablation|bench|chaos)"
+            "unknown experiment '{other}' (all|table1..table5|fig6|fig7|fig9|fig10|fig11|fig12|cascade|ablation|bench|chaos|profile)"
         )),
     };
 

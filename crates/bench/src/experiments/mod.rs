@@ -15,6 +15,7 @@ pub mod fig12;
 pub mod fig6;
 pub mod fig7;
 pub mod fig9;
+pub mod profile;
 pub mod table1;
 pub mod table2_3;
 pub mod table4;

@@ -1,0 +1,202 @@
+//! `reproduce -- profile`: a per-stage wall-time/bytes breakdown of the
+//! *real* execution path, captured with `surfer-obs`.
+//!
+//! One recording session covers the four instrumented subsystems:
+//!
+//! 1. **Propagation** — PageRank iterations through the O4 engine
+//!    (Transfer/Combine stages, per-partition worker spans);
+//! 2. **MapReduce** — the VDD app through map/shuffle/sort/reduce;
+//! 3. **Checkpoint/restore** — [`run_with_recovery`] under an injected
+//!    machine crash, exercising snapshot writes, replica failover and tail
+//!    recomputation;
+//! 4. **Replica I/O** — a partitioned-graph store round-trip through
+//!    `surfer_partition::store_fs`.
+//!
+//! The result is exported as `TRACE_profile.json` next to
+//! `BENCH_propagation.json` and validated against the expected schema —
+//! `reproduce -- profile` exits non-zero on drift, which is what the CI
+//! profile job runs.
+
+use crate::Workload;
+use surfer_apps::pagerank::PageRankPropagation;
+use surfer_apps::VertexDegreeDistribution;
+use surfer_cluster::{render_span_gantt, FaultPlan, MachineCrash};
+use surfer_core::{run_with_recovery, EngineOptions, OptimizationLevel, RecoveryConfig};
+use surfer_obs::{ObsSession, TraceReport, SCHEMA_VERSION};
+use surfer_partition::{load_partitioned, write_partitioned};
+
+/// Propagation iterations of the profiled job.
+pub const ITERATIONS: u32 = 4;
+/// Checkpoint interval of the recovery stage.
+pub const CKPT_INTERVAL: u32 = 2;
+
+/// The captured profile: the raw trace plus its rendered artifacts.
+pub struct ProfileResult {
+    /// Everything the session recorded.
+    pub report: TraceReport,
+    /// The exported JSON document (written to `TRACE_profile.json`).
+    pub json: String,
+    /// Per-thread wall-clock Gantt of the recorded spans.
+    pub gantt: String,
+}
+
+/// Run the four instrumented subsystems under one recording session.
+pub fn run(w: &Workload) -> ProfileResult {
+    let surfer = w.surfer(w.t1_cluster(), OptimizationLevel::O4);
+    let cluster = surfer.cluster();
+    let pg = surfer.partitioned();
+    let prog = PageRankPropagation { damping: 0.85, n: w.graph.num_vertices() as u64 };
+
+    let session = ObsSession::begin();
+
+    // 1. Propagation through the full engine.
+    let engine = surfer.propagation();
+    let mut state = engine.init_state(&prog);
+    engine.run(&prog, &mut state, ITERATIONS).expect("propagation run");
+
+    // 2. MapReduce (the VDD app's map/shuffle/sort/reduce round).
+    surfer.run_mapreduce(&VertexDegreeDistribution).expect("mapreduce run");
+
+    // 3. Checkpoint/restore under a mid-job machine crash.
+    let dir = std::env::temp_dir().join(format!("surfer-profile-{}", w.cfg.seed));
+    let cfg = RecoveryConfig::new(CKPT_INTERVAL, &dir);
+    let plan = FaultPlan {
+        crashes: vec![MachineCrash { machine: pg.machine_of(0), at_iteration: ITERATIONS / 2 }],
+        udf_panics: vec![],
+        corruptions: vec![],
+    };
+    let mut rec_state = engine.init_state(&prog);
+    run_with_recovery(
+        cluster,
+        pg,
+        EngineOptions::full(),
+        &prog,
+        &mut rec_state,
+        ITERATIONS,
+        &cfg,
+        &plan,
+    )
+    .expect("recovery run");
+
+    // 4. Partition-store replica I/O round-trip.
+    let store_dir = dir.join("store");
+    write_partitioned(&store_dir, pg).expect("store write");
+    load_partitioned(&store_dir).expect("store load");
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let report = session.finish();
+    let json = render_json(w, &report);
+    let gantt = render_span_gantt(&report, 72);
+    ProfileResult { report, json, gantt }
+}
+
+/// The `TRACE_profile.json` document: run configuration wrapping the trace
+/// export.
+fn render_json(w: &Workload, report: &TraceReport) -> String {
+    let trace = report.to_json();
+    format!(
+        "{{\n\"schema_version\": {v},\n\"experiment\": \"profile\",\n\
+         \"scale\": \"{sc:?}\", \"machines\": {m}, \"partitions\": {p}, \"seed\": {s},\n\
+         \"iterations\": {it}, \"checkpoint_interval\": {iv},\n\
+         \"trace\": {t}}}\n",
+        v = SCHEMA_VERSION,
+        sc = w.cfg.scale,
+        m = w.cfg.machines,
+        p = w.cfg.partitions,
+        s = w.cfg.seed,
+        it = ITERATIONS,
+        iv = CKPT_INTERVAL,
+        t = trace.trim_end(),
+    )
+}
+
+/// Keys every `TRACE_profile.json` must carry: the document structure plus
+/// one sentinel counter per instrumented subsystem. The profile subcommand
+/// (and the CI job) fail when any goes missing — schema drift is an error,
+/// not a silent format change.
+pub const REQUIRED_KEYS: &[&str] = &[
+    "\"schema_version\"",
+    "\"experiment\"",
+    "\"trace\"",
+    "\"stages\"",
+    "\"counters\"",
+    "\"gauges\"",
+    "\"histograms\"",
+    "\"spans\"",
+    // Propagation.
+    "\"prop.messages\"",
+    "\"prop.transfer_calls\"",
+    "\"prop.iterations\"",
+    "\"prop.mailbox_size\"",
+    // MapReduce.
+    "\"mr.pairs\"",
+    "\"mr.shuffle.bytes\"",
+    "\"mr.reduce.values\"",
+    // Checkpoint/restore.
+    "\"ckpt.writes\"",
+    "\"ckpt.snapshot_bytes\"",
+    "\"ckpt.restores\"",
+    // Replica / store I/O.
+    "\"fs.snapshot.write_bytes\"",
+    "\"fs.snapshot.read_bytes\"",
+    "\"fs.part.write_bytes\"",
+    "\"fs.part.read_bytes\"",
+    // Executor accounting.
+    "\"exec.tasks\"",
+    "\"exec.net_bytes\"",
+];
+
+/// Validate an exported profile document. Returns every missing key plus a
+/// structural complaint when braces don't balance; empty = conforming.
+pub fn validate_schema(json: &str) -> Vec<String> {
+    let mut problems: Vec<String> = REQUIRED_KEYS
+        .iter()
+        .filter(|k| !json.contains(*k))
+        .map(|k| format!("missing {k}"))
+        .collect();
+    if json.matches('{').count() != json.matches('}').count() {
+        problems.push("unbalanced braces".into());
+    }
+    if !json.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")) {
+        problems.push(format!("schema_version is not {SCHEMA_VERSION}"));
+    }
+    problems
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ExpConfig;
+    use surfer_graph::generators::social::MsnScale;
+
+    fn tiny() -> Workload {
+        let cfg = ExpConfig { scale: MsnScale::Tiny, machines: 4, partitions: 4, seed: 31 };
+        Workload::prepare(cfg)
+    }
+
+    #[test]
+    fn profile_covers_all_subsystems_and_validates() {
+        let w = tiny();
+        let r = run(&w);
+        assert!(r.report.counter("prop.messages") > 0, "propagation instrumented");
+        assert!(r.report.counter("mr.pairs") > 0, "mapreduce instrumented");
+        assert!(r.report.counter("ckpt.writes") > 0, "checkpointing instrumented");
+        assert!(r.report.counter("ckpt.restores") > 0, "crash must trigger a restore");
+        assert!(r.report.counter("fs.part.write_bytes") > 0, "store writes instrumented");
+        assert!(r.report.counter("fs.snapshot.read_bytes") > 0, "snapshot reads instrumented");
+        assert!(r.report.span_count("prop.iteration") > 0);
+        assert!(r.gantt.contains('T'), "gantt should show transfer spans:\n{}", r.gantt);
+        let problems = validate_schema(&r.json);
+        assert!(problems.is_empty(), "schema drift: {problems:?}\n{}", r.json);
+    }
+
+    #[test]
+    fn validator_flags_drift() {
+        let w = tiny();
+        let r = run(&w);
+        let broken = r.json.replace("prop.messages", "prop.renamed");
+        let problems = validate_schema(&broken);
+        assert!(problems.iter().any(|p| p.contains("prop.messages")), "{problems:?}");
+        assert!(validate_schema("{").iter().any(|p| p.contains("braces")));
+    }
+}

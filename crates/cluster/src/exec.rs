@@ -254,6 +254,14 @@ impl<'c> Executor<'c> {
             self.cluster.num_machines()
         );
         assert!(spec.cpu_ops >= 0.0 && spec.cpu_ops.is_finite(), "invalid cpu_ops");
+        if surfer_obs::enabled() {
+            // Independent accounting: in a fault-free run every task
+            // completes exactly once, so these totals equal the report's
+            // disk_read_bytes / disk_write_bytes.
+            surfer_obs::counter_add("exec.tasks", 1);
+            surfer_obs::counter_add("exec.disk_read_bytes", spec.disk_read_bytes);
+            surfer_obs::counter_add("exec.disk_write_bytes", spec.disk_write_bytes);
+        }
         let id = self.tasks.len();
         self.tasks.push(Task {
             spec,
@@ -281,6 +289,15 @@ impl<'c> Executor<'c> {
     /// arrives. Free (and instantaneous) when both tasks share a machine.
     pub fn add_transfer(&mut self, src: TaskId, dst: TaskId, bytes: u64) -> TransferId {
         assert!(src != dst, "transfer endpoints must differ");
+        if surfer_obs::enabled() {
+            surfer_obs::counter_add("exec.transfers", 1);
+            // Only cross-machine transfers cost network bytes (fault-free:
+            // tasks run where their spec places them), mirroring the
+            // launch-time charge in run_with_faults.
+            if self.tasks[src].spec.machine != self.tasks[dst].spec.machine {
+                surfer_obs::counter_add("exec.net_bytes", bytes);
+            }
+        }
         let id = self.transfers.len();
         self.transfers.push(TransferRec { src, dst, bytes });
         self.tasks[src].transfers_out.push(id);

@@ -51,13 +51,80 @@ pub fn render_gantt(report: &ExecReport, width: usize) -> String {
 }
 
 fn paint(row: &mut [char], t: &TaskTrace, horizon: f64, width: usize) {
-    let to_col = |secs: f64| ((secs / horizon) * width as f64) as usize;
-    let a = to_col(t.start.as_secs_f64()).min(width - 1);
-    let b = to_col(t.end.as_secs_f64()).clamp(a + 1, width);
-    let glyph = kind_glyph(t.kind);
+    paint_interval(row, t.start.as_secs_f64(), t.end.as_secs_f64(), horizon, width, kind_glyph(t.kind));
+}
+
+/// Paint `glyph` over the `[start, end)` interval (in the same unit as
+/// `horizon`) of a `width`-column row. Every interval gets at least one cell.
+fn paint_interval(row: &mut [char], start: f64, end: f64, horizon: f64, width: usize, glyph: char) {
+    let to_col = |x: f64| ((x / horizon) * width as f64) as usize;
+    let a = to_col(start).min(width - 1);
+    let b = to_col(end).clamp(a + 1, width);
     for c in row[a..b].iter_mut() {
         *c = glyph;
     }
+}
+
+/// Glyph for an observability span, keyed on its stage name.
+pub fn span_glyph(name: &str) -> char {
+    if name.contains("transfer") {
+        'T'
+    } else if name.contains("combine") {
+        'C'
+    } else if name.contains("map") {
+        'M'
+    } else if name.contains("reduce") {
+        'R'
+    } else if name.contains("restore") || name.contains("read") {
+        'L'
+    } else if name.contains("ckpt") || name.contains("write") {
+        'S'
+    } else if name.contains("simulate") {
+        'P'
+    } else {
+        '#'
+    }
+}
+
+/// Render a per-thread wall-clock Gantt chart of an observability trace.
+///
+/// Each row is one OS thread that recorded spans; each span paints its glyph
+/// over its wall-time interval. Spans are painted parents-first (sorted by
+/// start ascending, end descending) so nested child spans overpaint their
+/// parents, exactly like later tasks overpaint earlier ones in
+/// [`render_gantt`].
+pub fn render_span_gantt(report: &surfer_obs::TraceReport, width: usize) -> String {
+    assert!(width >= 10, "gantt needs at least 10 columns");
+    let mut threads: Vec<&str> = report.spans.iter().map(|s| s.thread.as_str()).collect();
+    threads.sort_unstable();
+    threads.dedup();
+    let horizon = report.spans.iter().map(|s| s.end_ns).max().unwrap_or(0).max(1) as f64;
+    let mut rows = vec![vec!['.'; width]; threads.len()];
+    let mut order: Vec<&surfer_obs::SpanRec> = report.spans.iter().collect();
+    order.sort_by(|a, b| a.start_ns.cmp(&b.start_ns).then(b.end_ns.cmp(&a.end_ns)));
+    for s in &order {
+        let row = threads.binary_search(&s.thread.as_str()).expect("thread listed");
+        paint_interval(
+            &mut rows[row],
+            s.start_ns as f64,
+            s.end_ns as f64,
+            horizon,
+            width,
+            span_glyph(s.name),
+        );
+    }
+    let mut out = String::new();
+    out.push_str(&format!(
+        "wall 0 .. {:.2}ms ({} spans; T=transfer C=combine M=map R=reduce S=write L=read)\n",
+        horizon / 1e6,
+        report.spans.len()
+    ));
+    for (t, row) in threads.iter().zip(&rows) {
+        out.push_str(&format!("{t:<10} |"));
+        out.extend(row.iter());
+        out.push_str("|\n");
+    }
+    out
 }
 
 /// A compact utilization summary: busy fraction per machine.
@@ -118,5 +185,30 @@ mod tests {
     #[should_panic(expected = "10 columns")]
     fn tiny_width_rejected() {
         render_gantt(&demo_report(), 3);
+    }
+
+    #[test]
+    fn span_gantt_has_one_row_per_thread() {
+        let session = surfer_obs::ObsSession::begin();
+        {
+            let _outer = surfer_obs::span("prop.transfer");
+            let _inner = surfer_obs::span("prop.combine");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        let report = session.finish();
+        let g = render_span_gantt(&report, 40);
+        // One recording thread -> exactly one timeline row between the header
+        // and the trailing newline.
+        assert_eq!(g.lines().count(), 2, "{g}");
+        assert!(g.contains('C'), "child span should overpaint parent: {g}");
+    }
+
+    #[test]
+    fn span_glyphs_cover_stage_names() {
+        assert_eq!(span_glyph("prop.transfer.part"), 'T');
+        assert_eq!(span_glyph("mr.reduce"), 'R');
+        assert_eq!(span_glyph("ckpt.restore"), 'L');
+        assert_eq!(span_glyph("ckpt.write"), 'S');
+        assert_eq!(span_glyph("cascade.phase"), '#');
     }
 }

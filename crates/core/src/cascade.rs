@@ -144,6 +144,13 @@ pub fn run_cascaded<P: Propagation>(
     for it in 0..iterations {
         // Position within the current phase, 1-based.
         let pos = it % analysis.d_min + 1;
+        let _s = surfer_obs::span_with("cascade.phase", || format!("pos{pos}"));
+        if surfer_obs::enabled() {
+            surfer_obs::counter_add("cascade.iterations", 1);
+            if pos > 1 {
+                surfer_obs::counter_add("cascade.discounted_iterations", 1);
+            }
+        }
         let frac: Vec<f64> = if pos == 1 {
             vec![1.0; pg.num_partitions() as usize]
         } else {

@@ -349,6 +349,7 @@ where
                 iter_faults.push(Fault { machine: m, at: SimTime::ZERO });
             }
             stats.machine_crashes += crashed.len() as u32;
+            surfer_obs::counter_add("ckpt.machine_crashes", crashed.len() as u64);
             let alive_ids: Vec<MachineId> = (0..machines)
                 .map(MachineId)
                 .filter(|m| alive[m.0 as usize])
@@ -363,6 +364,7 @@ where
                 cluster, &cur, &store, &alive, cfg, last_ckpt, state, &mut stats,
             )?);
             stats.restores += 1;
+            surfer_obs::counter_add("ckpt.restores", 1);
 
             // Re-home partitions stranded on dead machines: prefer an alive
             // replica holder (the data is already there), else any alive
@@ -391,6 +393,7 @@ where
                 chaos.set_iteration(t);
                 total.absorb(&engine.run_iteration(&chaos, state)?);
                 stats.tail_iterations_recomputed += 1;
+                surfer_obs::counter_add("ckpt.tail_recomputed", 1);
             }
             cur = next;
         }
@@ -413,6 +416,7 @@ where
                 Err(e) if e.is_retryable() && attempts < cfg.max_udf_retries => {
                     attempts += 1;
                     stats.udf_retries += 1;
+                    surfer_obs::counter_add("ckpt.udf_retries", 1);
                 }
                 Err(e) if e.is_retryable() => {
                     return Err(SurferError::RetriesExhausted {
@@ -453,6 +457,7 @@ fn write_checkpoint<S: Checkpointable>(
     state: &[S],
     stats: &mut RecoveryStats,
 ) -> SurferResult<ExecReport> {
+    let _s = surfer_obs::span_with("ckpt.write", || format!("it{iteration}"));
     // (home machine, snapshot bytes, replica sinks as (machine, bytes)).
     type CkptSpec = (MachineId, u64, Vec<(MachineId, u64)>);
     let mut specs: Vec<CkptSpec> = Vec::new();
@@ -470,6 +475,7 @@ fn write_checkpoint<S: Checkpointable>(
             let path = snapshot_path(&cfg.dir, m, pid);
             write_snapshot(&path, iteration, pid, &payload)?;
             stats.snapshot_bytes += len;
+            surfer_obs::counter_add("ckpt.snapshot_bytes", len);
             if plan.corrupts(iteration, pid, idx) {
                 corrupt_snapshot_file(&path)?;
             }
@@ -478,6 +484,7 @@ fn write_checkpoint<S: Checkpointable>(
         specs.push((cur.machine_of(pid), len, sinks));
     }
     stats.checkpoints_written += 1;
+    surfer_obs::counter_add("ckpt.writes", 1);
 
     // Simulated cost: the home machine serializes + writes its local copy;
     // each sibling replica receives the payload over the network and writes
@@ -517,12 +524,14 @@ fn restore_checkpoint<S: Checkpointable>(
     state: &mut [S],
     stats: &mut RecoveryStats,
 ) -> SurferResult<ExecReport> {
+    let _s = surfer_obs::span_with("ckpt.restore", || format!("it{iteration}"));
     let mut sources: Vec<(MachineId, u64)> = Vec::new();
     for pid in cur.partitions() {
         let mut found: Option<(MachineId, u64, Vec<u8>)> = None;
         for &m in &store.replicas(pid).machines {
             if !alive[m.0 as usize] {
                 stats.replica_failovers += 1;
+                surfer_obs::counter_add("ckpt.replica_failovers", 1);
                 continue;
             }
             let path = snapshot_path(&cfg.dir, m, pid);
@@ -536,6 +545,7 @@ fn restore_checkpoint<S: Checkpointable>(
                 // the next replica.
                 Ok(_) | Err(GraphError::Corrupt(_)) | Err(GraphError::Io(_)) => {
                     stats.corrupt_snapshots += 1;
+                    surfer_obs::counter_add("ckpt.corrupt_snapshots", 1);
                 }
                 Err(e) => return Err(e.into()),
             }

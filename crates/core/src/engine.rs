@@ -234,6 +234,7 @@ impl<'a> PropagationEngine<'a> {
         disk_fraction: Option<&[f64]>,
         faults: &[Fault],
     ) -> SurferResult<(ExecReport, u64)> {
+        let _iter_span = surfer_obs::span_seq("prop.iteration");
         let pg = self.graph;
         let g = pg.graph();
         let n = g.num_vertices() as usize;
@@ -249,10 +250,20 @@ impl<'a> PropagationEngine<'a> {
         // matter how many threads ran or how they were scheduled.
         let state_ro: &[P::State] = state;
         let pids: Vec<u32> = pg.partitions().collect();
+        let transfer_span = surfer_obs::span("prop.transfer");
+        let transfer_sid = transfer_span.id();
         // Work item i is partition i, so a WorkerPanic's index names the
         // failing partition directly.
         let outboxes: Vec<Outbox<P::Msg>> = try_par_map_vec(threads, pids, |_, pid| {
+            let _s = surfer_obs::span_under("prop.transfer.part", transfer_sid, || format!("p{pid}"));
             let meta = pg.meta(pid);
+            if surfer_obs::enabled() {
+                // Counter increments are commutative, so these per-partition
+                // adds are thread-count-deterministic even off-thread.
+                let inner = meta.members.iter().filter(|&&v| pg.is_inner(v)).count() as u64;
+                surfer_obs::counter_add("prop.inner_vertices", inner);
+                surfer_obs::counter_add("prop.boundary_vertices", meta.members.len() as u64 - inner);
+            }
             let mut t = PartitionTally::default();
             let mut msgs: Vec<(VertexId, P::Msg)> = Vec::new();
             let mut emitted = 0u64;
@@ -298,6 +309,7 @@ impl<'a> PropagationEngine<'a> {
             Outbox { msgs, tally: t, emitted }
         })
         .map_err(|e| SurferError::from_worker_panic("transfer", e))?;
+        drop(transfer_span);
 
         // ---- Flat counted mailbox: count, prefix-sum, fill. ----
         // Slots are *encoded* ids (App. B): contiguous per partition and
@@ -326,6 +338,22 @@ impl<'a> PropagationEngine<'a> {
                 cursor[slot] += 1;
             }
         }
+        if surfer_obs::enabled() {
+            surfer_obs::counter_add("prop.messages", messages);
+            surfer_obs::counter_add(
+                "prop.transfer_calls",
+                tally.iter().map(|t| t.transfer_calls).sum(),
+            );
+            surfer_obs::counter_add("prop.local_bytes", tally.iter().map(|t| t.local_bytes).sum());
+            surfer_obs::counter_add(
+                "prop.local_inner_bytes",
+                tally.iter().map(|t| t.local_inner_bytes).sum(),
+            );
+            surfer_obs::counter_add(
+                "prop.cross_bytes",
+                tally.iter().flat_map(|t| t.cross_out.values()).sum(),
+            );
+        }
 
         // ---- Combine stage (real, one worker item per partition). ----
         // Split the mailbox into disjoint per-partition slices. Workers take
@@ -338,15 +366,20 @@ impl<'a> PropagationEngine<'a> {
         for pid in pg.partitions() {
             let end = offsets[enc.range(pid).1.index()];
             let (head, tail) = rest.split_at_mut(end - consumed);
+            surfer_obs::observe("prop.mailbox_size", head.len() as u64);
             chunks.push((pid, head));
             consumed = end;
             rest = tail;
         }
         let state_ro: &[P::State] = state;
         let offsets = &offsets;
+        let combine_span = surfer_obs::span("prop.combine");
+        let combine_sid = combine_span.id();
         // Work item i is again partition i (chunks are built in pid order).
         let combined: Vec<(Vec<P::State>, u64)> =
             try_par_map_vec(threads, chunks, |_, (pid, chunk)| {
+                let _s =
+                    surfer_obs::span_under("prop.combine.part", combine_sid, || format!("p{pid}"));
                 let meta = pg.meta(pid);
                 let base = offsets[enc.range(pid).0.index()];
                 let mut new_states = Vec::with_capacity(meta.members.len());
@@ -369,6 +402,14 @@ impl<'a> PropagationEngine<'a> {
             for (&v, s) in pg.meta(pid as u32).members.iter().zip(new_states) {
                 state[v.index()] = s;
             }
+        }
+        drop(combine_span);
+        if surfer_obs::enabled() {
+            surfer_obs::counter_add(
+                "prop.combine_msgs",
+                tally.iter().map(|t| t.combine_msgs).sum(),
+            );
+            surfer_obs::counter_add("prop.iterations", 1);
         }
 
         let report = self.simulate(
@@ -409,6 +450,7 @@ impl<'a> PropagationEngine<'a> {
         disk_fraction: Option<&[f64]>,
         faults: &[Fault],
     ) -> SurferResult<ExecReport> {
+        let _s = surfer_obs::span("prop.simulate");
         let pg = self.graph;
         let memory = self.cluster.spec().memory_bytes;
         let frac = |pid: u32| disk_fraction.map_or(1.0, |f| f[pid as usize]);
@@ -489,6 +531,7 @@ impl<'a> PropagationEngine<'a> {
         &self,
         task: &T,
     ) -> SurferResult<(Vec<T::Out>, ExecReport)> {
+        let _run_span = surfer_obs::span("virt.run");
         let pg = self.graph;
         let g = pg.graph();
         let machines = self.cluster.num_machines();
@@ -500,8 +543,11 @@ impl<'a> PropagationEngine<'a> {
         // (merged messages appended after the scan in virtual-id order)
         // plus the partition's per-machine byte row and call count.
         let pids: Vec<u32> = pg.partitions().collect();
+        let vt_span = surfer_obs::span("virt.transfer");
+        let vt_sid = vt_span.id();
         let transfers: Vec<VirtualOutbox<T::Msg>> =
             try_par_map_vec(threads, pids, |_, pid| {
+                let _s = surfer_obs::span_under("virt.transfer.part", vt_sid, || format!("p{pid}"));
                 let mut msgs: Vec<(u64, T::Msg)> = Vec::new();
                 let mut bytes_row = vec![0u64; machines as usize];
                 let mut calls = 0u64;
@@ -531,6 +577,21 @@ impl<'a> PropagationEngine<'a> {
                 (msgs, bytes_row, calls)
             })
             .map_err(|e| SurferError::from_worker_panic("virtual-transfer", e))?;
+        drop(vt_span);
+        if surfer_obs::enabled() {
+            surfer_obs::counter_add(
+                "virt.messages",
+                transfers.iter().map(|(m, _, _)| m.len() as u64).sum(),
+            );
+            surfer_obs::counter_add(
+                "virt.transfer_calls",
+                transfers.iter().map(|(_, _, c)| *c).sum(),
+            );
+            surfer_obs::counter_add(
+                "virt.cross_bytes",
+                transfers.iter().flat_map(|(_, row, _)| row.iter()).sum(),
+            );
+        }
 
         // Group per virtual vertex, folding outboxes in ascending pid order
         // so each group's message order matches the sequential run.
@@ -556,17 +617,25 @@ impl<'a> PropagationEngine<'a> {
         // Map a failing entry index back to its virtual-vertex id so the
         // error names something meaningful to the caller.
         let vids: Vec<u64> = entries.iter().map(|(vid, _)| *vid).collect();
-        let outputs: Vec<T::Out> =
-            try_par_map_vec(threads, entries, |_, (vid, msgs)| task.combine(vid, msgs)).map_err(
-                |e| SurferError::UdfPanic {
-                    stage: "virtual-combine",
-                    item: vids[e.index],
-                    message: e.message,
-                },
-            )?;
+        let vc_span = surfer_obs::span("virt.combine");
+        let vc_sid = vc_span.id();
+        let outputs: Vec<T::Out> = try_par_map_vec(threads, entries, |_, (vid, msgs)| {
+            let _s = surfer_obs::span_under("virt.combine.vertex", vc_sid, || format!("v{vid}"));
+            task.combine(vid, msgs)
+        })
+        .map_err(|e| SurferError::UdfPanic {
+            stage: "virtual-combine",
+            item: vids[e.index],
+            message: e.message,
+        })?;
+        drop(vc_span);
+        if surfer_obs::enabled() {
+            surfer_obs::counter_add("virt.outputs", outputs.len() as u64);
+        }
 
         // Simulated DAG: one Transfer task per partition, one virtual
         // Combine task per machine.
+        let _sim_span = surfer_obs::span("virt.simulate");
         let mut ex = Executor::new(self.cluster);
         let combine_tasks: Vec<usize> = (0..machines)
             .map(|m| {

@@ -52,6 +52,14 @@ pub enum SurferError {
     Storage(GraphError),
     /// The MapReduce baseline engine failed.
     MapReduce(MapReduceError),
+    /// The application does not implement the requested execution primitive
+    /// (e.g. a propagation-only app asked to run as MapReduce).
+    Unsupported {
+        /// The application's `SurferApp::name()`.
+        app: &'static str,
+        /// The primitive it lacks (`"mapreduce"`, `"propagation"`).
+        primitive: &'static str,
+    },
 }
 
 /// Shorthand result over [`SurferError`].
@@ -75,6 +83,9 @@ impl std::fmt::Display for SurferError {
             }
             SurferError::Storage(e) => write!(f, "checkpoint storage error: {e}"),
             SurferError::MapReduce(e) => write!(f, "mapreduce job failed: {e}"),
+            SurferError::Unsupported { app, primitive } => {
+                write!(f, "app '{app}' does not implement the {primitive} primitive")
+            }
         }
     }
 }
@@ -149,5 +160,13 @@ mod tests {
     fn non_udf_errors_are_not_retryable() {
         assert!(!SurferError::ClusterLost.is_retryable());
         assert!(!SurferError::ReplicasExhausted { partition: 0, iteration: 0 }.is_retryable());
+        assert!(!SurferError::Unsupported { app: "x", primitive: "mapreduce" }.is_retryable());
+    }
+
+    #[test]
+    fn unsupported_names_app_and_primitive() {
+        let e = SurferError::Unsupported { app: "spread", primitive: "mapreduce" };
+        assert!(e.to_string().contains("spread"));
+        assert!(e.to_string().contains("mapreduce"));
     }
 }

@@ -301,6 +301,7 @@ mod tests {
 
     // surfer-apps is a downstream crate; a minimal local recommender clone
     // keeps this test self-contained.
+    #[derive(Debug)]
     pub struct Adoption(Vec<bool>);
     impl Adoption {
         pub fn count(&self) -> usize {
@@ -356,13 +357,22 @@ mod tests {
                 let report = engine.run_iteration(&Prog, &mut state)?;
                 Ok((Adoption(state), report))
             }
-            fn run_mapreduce(
-                &self,
-                _engine: &surfer_mapreduce::MapReduceEngine<'_>,
-            ) -> crate::error::SurferResult<(Adoption, surfer_cluster::ExecReport)> {
-                unimplemented!("test app is propagation-only")
-            }
+            // Propagation-only: run_mapreduce keeps the trait default, which
+            // returns SurferError::Unsupported instead of panicking.
         }
         Spread
+    }
+
+    #[test]
+    fn propagation_only_app_fails_mapreduce_as_typed_error() {
+        let surfer = fixture();
+        let err = surfer.run_mapreduce(&surfer_apps_recommender()).unwrap_err();
+        assert!(
+            matches!(
+                err,
+                crate::error::SurferError::Unsupported { app: "spread", primitive: "mapreduce" }
+            ),
+            "expected Unsupported, got {err:?}"
+        );
     }
 }

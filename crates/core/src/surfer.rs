@@ -30,10 +30,16 @@ pub trait SurferApp {
     ) -> SurferResult<(Self::Output, ExecReport)>;
 
     /// Execute with the MapReduce primitive.
+    ///
+    /// Propagation-only apps keep this default, which fails as a typed
+    /// [`SurferError::Unsupported`](crate::error::SurferError::Unsupported)
+    /// naming the app — never a panic.
     fn run_mapreduce(
         &self,
-        engine: &MapReduceEngine<'_>,
-    ) -> SurferResult<(Self::Output, ExecReport)>;
+        _engine: &MapReduceEngine<'_>,
+    ) -> SurferResult<(Self::Output, ExecReport)> {
+        Err(crate::error::SurferError::Unsupported { app: self.name(), primitive: "mapreduce" })
+    }
 }
 
 /// Result of running an application.

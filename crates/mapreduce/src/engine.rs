@@ -125,6 +125,7 @@ impl<'a> MapReduceEngine<'a> {
         M: PartitionMapper,
         R: Reducer<Key = M::Key, Value = M::Value>,
     {
+        let _run_span = surfer_obs::span("mr.run");
         let n_machines = self.cluster.num_machines();
         let pg = self.graph;
 
@@ -132,8 +133,11 @@ impl<'a> MapReduceEngine<'a> {
         // Work item i is partition pids[i], so a WorkerPanic index names the
         // partition directly.
         let pids: Vec<u32> = pg.partitions().collect();
+        let map_span = surfer_obs::span("mr.map");
+        let map_sid = map_span.id();
         let per_partition: Vec<Vec<(M::Key, M::Value)>> =
             try_par_map_vec(self.threads, pids.clone(), |_, pid| {
+                let _s = surfer_obs::span_under("mr.map.part", map_sid, || format!("p{pid}"));
                 let mut em = Emitter::new();
                 mapper.map(pg, pid, &mut em);
                 em.into_pairs()
@@ -142,9 +146,17 @@ impl<'a> MapReduceEngine<'a> {
                 partition: pids[e.index],
                 message: e.message,
             })?;
+        drop(map_span);
+        if surfer_obs::enabled() {
+            surfer_obs::counter_add(
+                "mr.pairs",
+                per_partition.iter().map(|p| p.len() as u64).sum(),
+            );
+        }
 
         // ---- Shuffle: hash keys to reducer machines, count bytes. ----
         // bytes_to[pid][r] = intermediate bytes from partition pid to reducer r.
+        let shuffle_span = surfer_obs::span("mr.shuffle");
         let mut bytes_to: Vec<Vec<u64>> =
             vec![vec![0; n_machines as usize]; pg.num_partitions() as usize];
         let mut groups: Vec<BTreeMap<M::Key, Vec<M::Value>>> =
@@ -156,12 +168,22 @@ impl<'a> MapReduceEngine<'a> {
                 groups[r as usize].entry(k.clone()).or_default().push(v.clone());
             }
         }
+        if surfer_obs::enabled() {
+            surfer_obs::counter_add(
+                "mr.shuffle.bytes",
+                bytes_to.iter().flatten().sum(),
+            );
+        }
+        drop(shuffle_span);
 
         // ---- Real computation: reduce (parallel, one item per machine).
         // Per-machine output runs concatenate in machine order, preserving
         // the sequential engine's "by reducer machine, then key" ordering.
         // Work item i is reducer machine i.
-        let reduced: Vec<(Vec<R::Out>, u64)> = try_par_map_vec(self.threads, groups, |_, g| {
+        let reduce_span = surfer_obs::span("mr.reduce");
+        let reduce_sid = reduce_span.id();
+        let reduced: Vec<(Vec<R::Out>, u64)> = try_par_map_vec(self.threads, groups, |m, g| {
+            let _s = surfer_obs::span_under("mr.reduce.machine", reduce_sid, || format!("m{m}"));
             let mut outs = Vec::new();
             let mut values = 0u64;
             for (k, vs) in &g {
@@ -171,11 +193,16 @@ impl<'a> MapReduceEngine<'a> {
             (outs, values)
         })
         .map_err(|e| MapReduceError::ReducePanic { machine: e.index as u16, message: e.message })?;
+        drop(reduce_span);
         let mut outputs = Vec::new();
         let mut reduce_cost: Vec<(u64, u64)> = Vec::new(); // (values, outputs) per machine
         for (outs, values) in reduced {
             reduce_cost.push((values, outs.len() as u64));
             outputs.extend(outs);
+        }
+        if surfer_obs::enabled() {
+            surfer_obs::counter_add("mr.reduce.values", reduce_cost.iter().map(|c| c.0).sum());
+            surfer_obs::counter_add("mr.outputs", outputs.len() as u64);
         }
 
         // ---- Simulated execution. ----
@@ -183,6 +210,7 @@ impl<'a> MapReduceEngine<'a> {
         // reducers, and each reducer spools its incoming pairs to disk before
         // the grouped reduce — both per Dean & Ghemawat's design, and both
         // essential to why oblivious shuffles hurt (§3.1).
+        let _sim_span = surfer_obs::span("mr.simulate");
         let mut ex = Executor::new(self.cluster);
         let reduce_tasks: Vec<usize> = (0..n_machines)
             .map(|m| {

@@ -1,0 +1,699 @@
+//! # surfer-obs
+//!
+//! Zero-dependency observability for the *real* execution path.
+//!
+//! The paper's job manager "records resource utilization and estimates the
+//! execution progress of the job" (App. B). The simulated side of this repo
+//! already has that ([`ExecReport`] and the task-trace Gantt); this crate
+//! instruments the host-side computation — the multi-threaded
+//! Transfer/Combine stages, MapReduce rounds, checkpoint/restore and replica
+//! I/O — with two primitives:
+//!
+//! * **Spans** — RAII guards ([`SpanGuard`]) recording wall-time interval,
+//!   thread, parent span and a label (`span!("prop.transfer.part", "p{pid}")`).
+//! * **Metrics** — a registry of counters ([`counter_add`]), gauges
+//!   ([`gauge_set`]) and power-of-two histograms ([`observe`]).
+//!
+//! ## Design constraints
+//!
+//! 1. **Disabled means free.** All instrumentation funnels through a single
+//!    relaxed [`AtomicBool`]; with no active session every call is a load +
+//!    branch and the `span!` macro never even formats its label. This is
+//!    what keeps `reproduce -- bench` overhead under the 2 % budget.
+//! 2. **Values are deterministic.** Counter deltas and histogram samples are
+//!    recorded per *work item* (partition, machine, checkpoint round) and
+//!    aggregated commutatively, so every non-timing value is bit-identical
+//!    for any worker-thread count. [`TraceReport::canonical_json`] strips
+//!    timing/thread/id fields and sorts spans, producing a byte-identical
+//!    document across `threads ∈ {1, 2, max}` — the conformance and
+//!    golden-trace suites assert on exactly that.
+//! 3. **Sessions serialize.** [`ObsSession::begin`] holds a global gate so
+//!    concurrently running tests never interleave their metrics.
+//!
+//! Worker threads have no implicit span parent (the thread-local parent
+//! stack is per thread); fan-out code captures the stage span's id on the
+//! coordinating thread and opens children with [`span_under`].
+//!
+//! [`ExecReport`]: https://docs.rs/surfer-cluster
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
+use std::time::Instant;
+
+/// Version stamp of the exported JSON documents; bump on any breaking
+/// change to the schema (`reproduce -- profile` fails on drift).
+pub const SCHEMA_VERSION: u32 = 1;
+
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Is a recording session active? The single fast-path check every
+/// instrumentation point performs first.
+#[inline]
+pub fn enabled() -> bool {
+    ENABLED.load(Ordering::Relaxed)
+}
+
+/// One completed span.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRec {
+    /// Session-unique id (allocation order; not stable across thread
+    /// counts — stripped from the canonical export).
+    pub id: u64,
+    /// Enclosing span, if any.
+    pub parent: Option<u64>,
+    /// Static name, dot-namespaced by subsystem (`"prop.transfer"`).
+    pub name: &'static str,
+    /// Instance label (`"p3"`, `"#2"`, `""`).
+    pub label: String,
+    /// Host thread the span ran on (`"ThreadId(1)"`).
+    pub thread: String,
+    /// Start offset from session begin, nanoseconds.
+    pub start_ns: u64,
+    /// End offset from session begin, nanoseconds.
+    pub end_ns: u64,
+}
+
+/// A power-of-two histogram: values bucketed by bit width, plus exact
+/// count/sum/min/max. All fields aggregate commutatively, so histograms are
+/// thread-count-invariant when samples are.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Hist {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all samples.
+    pub sum: u64,
+    /// Smallest sample.
+    pub min: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// `bit_width(value) -> count` (0 holds the zero samples).
+    pub buckets: BTreeMap<u32, u64>,
+}
+
+impl Hist {
+    fn new() -> Self {
+        Hist { count: 0, sum: 0, min: u64::MAX, max: 0, buckets: BTreeMap::new() }
+    }
+
+    fn record(&mut self, v: u64) {
+        self.count += 1;
+        self.sum += v;
+        self.min = self.min.min(v);
+        self.max = self.max.max(v);
+        *self.buckets.entry(64 - v.leading_zeros()).or_insert(0) += 1;
+    }
+}
+
+#[derive(Default)]
+struct State {
+    /// `Some` while a session records; `None` drops late writes on the
+    /// floor (e.g. a guard outliving its session).
+    epoch: Option<Instant>,
+    spans: Vec<SpanRec>,
+    counters: BTreeMap<&'static str, u64>,
+    gauges: BTreeMap<&'static str, u64>,
+    hists: BTreeMap<&'static str, Hist>,
+    /// Occurrence counters for [`span_seq`].
+    seq: BTreeMap<&'static str, u64>,
+}
+
+struct Shared {
+    next_span: AtomicU64,
+    state: Mutex<State>,
+}
+
+fn shared() -> &'static Shared {
+    static S: OnceLock<Shared> = OnceLock::new();
+    S.get_or_init(|| Shared { next_span: AtomicU64::new(1), state: Mutex::new(State::default()) })
+}
+
+fn lock_state() -> MutexGuard<'static, State> {
+    shared().state.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+thread_local! {
+    /// Open-span stack of the current thread (implicit parents).
+    static PARENTS: std::cell::RefCell<Vec<u64>> = const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Serializes sessions: only one [`ObsSession`] records at a time.
+static SESSION_GATE: Mutex<()> = Mutex::new(());
+
+/// A recording session. Construct with [`ObsSession::begin`], harvest with
+/// [`ObsSession::finish`]. Dropping without finishing discards the data.
+pub struct ObsSession {
+    _gate: Option<MutexGuard<'static, ()>>,
+}
+
+impl ObsSession {
+    /// Start recording. Blocks until any other session finishes; resets the
+    /// registry.
+    pub fn begin() -> ObsSession {
+        let gate = SESSION_GATE.lock().unwrap_or_else(PoisonError::into_inner);
+        {
+            let mut st = lock_state();
+            *st = State::default();
+            st.epoch = Some(Instant::now());
+        }
+        shared().next_span.store(1, Ordering::SeqCst);
+        ENABLED.store(true, Ordering::SeqCst);
+        ObsSession { _gate: Some(gate) }
+    }
+
+    /// Stop recording and return everything captured.
+    pub fn finish(self) -> TraceReport {
+        ENABLED.store(false, Ordering::SeqCst);
+        let state = std::mem::take(&mut *lock_state());
+        TraceReport {
+            spans: state.spans,
+            counters: state.counters,
+            gauges: state.gauges,
+            hists: state.hists,
+        }
+    }
+}
+
+impl Drop for ObsSession {
+    fn drop(&mut self) {
+        // A session abandoned mid-panic must not leave recording enabled.
+        ENABLED.store(false, Ordering::SeqCst);
+    }
+}
+
+/// RAII span. Records its wall-clock interval on drop; a no-op (no lock, no
+/// allocation) when no session is active.
+#[must_use = "a span measures the scope it is bound to"]
+pub struct SpanGuard {
+    live: Option<LiveSpan>,
+}
+
+struct LiveSpan {
+    id: u64,
+    parent: Option<u64>,
+    name: &'static str,
+    label: String,
+    start: Instant,
+}
+
+impl SpanGuard {
+    /// The inert guard (used by the `span!` macro's disabled branch).
+    pub fn disabled() -> SpanGuard {
+        SpanGuard { live: None }
+    }
+
+    /// This span's id, to parent worker-thread child spans on
+    /// ([`span_under`]). `None` when disabled.
+    pub fn id(&self) -> Option<u64> {
+        self.live.as_ref().map(|l| l.id)
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(live) = self.live.take() else { return };
+        let end = Instant::now();
+        PARENTS.with(|p| {
+            let mut p = p.borrow_mut();
+            if p.last() == Some(&live.id) {
+                p.pop();
+            }
+        });
+        let mut st = lock_state();
+        let Some(epoch) = st.epoch else { return };
+        st.spans.push(SpanRec {
+            id: live.id,
+            parent: live.parent,
+            name: live.name,
+            label: live.label,
+            thread: format!("{:?}", std::thread::current().id()),
+            start_ns: (live.start - epoch).as_nanos() as u64,
+            end_ns: (end - epoch).as_nanos() as u64,
+        });
+    }
+}
+
+fn open_span(name: &'static str, label: String, parent: Option<u64>, implicit: bool) -> SpanGuard {
+    let id = shared().next_span.fetch_add(1, Ordering::Relaxed);
+    let parent = if implicit {
+        PARENTS.with(|p| p.borrow().last().copied())
+    } else {
+        parent
+    };
+    PARENTS.with(|p| p.borrow_mut().push(id));
+    SpanGuard { live: Some(LiveSpan { id, parent, name, label, start: Instant::now() }) }
+}
+
+/// Open an unlabeled span under the current thread's innermost open span.
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::disabled();
+    }
+    open_span(name, String::new(), None, true)
+}
+
+/// Open a span with a lazily built label (only evaluated when recording).
+pub fn span_with(name: &'static str, label: impl FnOnce() -> String) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::disabled();
+    }
+    open_span(name, label(), None, true)
+}
+
+/// Open a span under an explicit parent id — the fan-out pattern: the
+/// coordinating thread captures `stage.id()` and worker closures parent
+/// their per-item spans on it (worker threads have empty parent stacks).
+pub fn span_under(
+    name: &'static str,
+    parent: Option<u64>,
+    label: impl FnOnce() -> String,
+) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::disabled();
+    }
+    open_span(name, label(), parent, false)
+}
+
+/// Open a span labeled with its session-wide occurrence index (`"#0"`,
+/// `"#1"`, …) — iteration numbering that stays deterministic because it is
+/// only ever called from the coordinating thread.
+pub fn span_seq(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard::disabled();
+    }
+    let k = {
+        let mut st = lock_state();
+        let k = st.seq.entry(name).or_insert(0);
+        let v = *k;
+        *k += 1;
+        v
+    };
+    open_span(name, format!("#{k}"), None, true)
+}
+
+/// `span!("name")` / `span!("name", "p{}", pid)` — sugar over [`span`] /
+/// [`span_with`] that never formats when disabled.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::span($name)
+    };
+    ($name:expr, $($fmt:tt)+) => {
+        $crate::span_with($name, || format!($($fmt)+))
+    };
+}
+
+/// Add `delta` to counter `name`.
+pub fn counter_add(name: &'static str, delta: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut st = lock_state();
+    if st.epoch.is_none() {
+        return;
+    }
+    *st.counters.entry(name).or_insert(0) += delta;
+}
+
+/// Set gauge `name` (last write wins — call from the coordinating thread
+/// only, or the value is not thread-count-deterministic).
+pub fn gauge_set(name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut st = lock_state();
+    if st.epoch.is_none() {
+        return;
+    }
+    st.gauges.insert(name, value);
+}
+
+/// Record one histogram sample.
+pub fn observe(name: &'static str, value: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut st = lock_state();
+    if st.epoch.is_none() {
+        return;
+    }
+    st.hists.entry(name).or_insert_with(Hist::new).record(value);
+}
+
+/// Per-name aggregate of spans, for the per-stage breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StageSummary {
+    /// Span name.
+    pub name: &'static str,
+    /// Spans recorded under this name.
+    pub count: u64,
+    /// Summed wall time, nanoseconds (overlapping spans double-count; this
+    /// is per-stage work, not elapsed time).
+    pub total_ns: u64,
+}
+
+/// Everything one session captured. The trace sink: render it
+/// (`surfer_cluster::render_span_gantt`), export it ([`TraceReport::to_json`])
+/// or diff it across runs ([`TraceReport::canonical_json`]).
+#[derive(Debug, Clone, Default)]
+pub struct TraceReport {
+    /// Completed spans, in completion order.
+    pub spans: Vec<SpanRec>,
+    /// Counter totals.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Gauge values.
+    pub gauges: BTreeMap<&'static str, u64>,
+    /// Histograms.
+    pub hists: BTreeMap<&'static str, Hist>,
+}
+
+impl TraceReport {
+    /// A counter's total (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Number of spans recorded under `name`.
+    pub fn span_count(&self, name: &str) -> usize {
+        self.spans.iter().filter(|s| s.name == name).count()
+    }
+
+    /// The span with id `id`, if recorded.
+    pub fn span_by_id(&self, id: u64) -> Option<&SpanRec> {
+        self.spans.iter().find(|s| s.id == id)
+    }
+
+    /// Per-name span aggregates, sorted by name.
+    pub fn stage_summary(&self) -> Vec<StageSummary> {
+        let mut agg: BTreeMap<&'static str, (u64, u64)> = BTreeMap::new();
+        for s in &self.spans {
+            let e = agg.entry(s.name).or_insert((0, 0));
+            e.0 += 1;
+            e.1 += s.end_ns.saturating_sub(s.start_ns);
+        }
+        agg.into_iter()
+            .map(|(name, (count, total_ns))| StageSummary { name, count, total_ns })
+            .collect()
+    }
+
+    /// `"name[label]"` of a span's parent, or `""` for roots. Used as the
+    /// timing-free parent key in the canonical export.
+    pub fn parent_key(&self, s: &SpanRec) -> String {
+        match s.parent.and_then(|p| self.span_by_id(p)) {
+            Some(p) => format!("{}[{}]", p.name, p.label),
+            None => String::new(),
+        }
+    }
+
+    /// Full structured JSON: spans with timings and threads, per-stage
+    /// aggregates, counters, gauges, histograms. Hand-rolled like the rest
+    /// of the harness (the workspace has no serialization deps).
+    pub fn to_json(&self) -> String {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+        out.push_str("  \"stages\": [\n");
+        let stages = self.stage_summary();
+        for (i, st) in stages.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"count\": {}, \"total_ms\": {:.3}}}{}\n",
+                esc(st.name),
+                st.count,
+                st.total_ns as f64 / 1e6,
+                comma(i, stages.len()),
+            ));
+        }
+        out.push_str("  ],\n");
+        self.push_metrics_json(&mut out);
+        out.push_str(",\n  \"spans\": [\n");
+        for (i, s) in self.spans.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"label\": \"{}\", \"parent\": \"{}\", \
+                 \"thread\": \"{}\", \"start_ns\": {}, \"end_ns\": {}}}{}\n",
+                esc(s.name),
+                esc(&s.label),
+                esc(&self.parent_key(s)),
+                esc(&s.thread),
+                s.start_ns,
+                s.end_ns,
+                comma(i, self.spans.len()),
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Timing-free canonical JSON: spans deduplicated by
+    /// `(name, label, parent)` with occurrence counts and sorted; ids,
+    /// threads and times stripped. Byte-identical across thread counts and
+    /// across repeat runs with the same seed.
+    pub fn canonical_json(&self) -> String {
+        let mut agg: BTreeMap<(String, String, String), u64> = BTreeMap::new();
+        for s in &self.spans {
+            *agg.entry((s.name.to_string(), s.label.clone(), self.parent_key(s)))
+                .or_insert(0) += 1;
+        }
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+        out.push_str("  \"spans\": [\n");
+        for (i, ((name, label, parent), count)) in agg.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"name\": \"{}\", \"label\": \"{}\", \"parent\": \"{}\", \"count\": {}}}{}\n",
+                esc(name),
+                esc(label),
+                esc(parent),
+                count,
+                comma(i, agg.len()),
+            ));
+        }
+        out.push_str("  ],\n");
+        self.push_metrics_json(&mut out);
+        out.push_str("\n}\n");
+        out
+    }
+
+    /// The shared counters/gauges/histograms tail of both exports.
+    fn push_metrics_json(&self, out: &mut String) {
+        out.push_str("  \"counters\": {");
+        for (i, (k, v)) in self.counters.iter().enumerate() {
+            out.push_str(&format!("{}\n    \"{}\": {}", if i == 0 { "" } else { "," }, esc(k), v));
+        }
+        out.push_str("\n  },\n  \"gauges\": {");
+        for (i, (k, v)) in self.gauges.iter().enumerate() {
+            out.push_str(&format!("{}\n    \"{}\": {}", if i == 0 { "" } else { "," }, esc(k), v));
+        }
+        out.push_str("\n  },\n  \"histograms\": {");
+        for (i, (k, h)) in self.hists.iter().enumerate() {
+            out.push_str(&format!(
+                "{}\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}}}",
+                if i == 0 { "" } else { "," },
+                esc(k),
+                h.count,
+                h.sum,
+                if h.count == 0 { 0 } else { h.min },
+                h.max,
+            ));
+        }
+        out.push_str("\n  }");
+    }
+}
+
+fn comma(i: usize, len: usize) -> &'static str {
+    if i + 1 == len {
+        ""
+    } else {
+        ","
+    }
+}
+
+/// Minimal JSON string escaping (names and labels are ASCII identifiers,
+/// but panics messages etc. must not break the document).
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Tests in this module touch the global registry outside any session
+    /// (to prove inertness), so they must not interleave with each other.
+    static TEST_GATE: Mutex<()> = Mutex::new(());
+
+    fn serial() -> MutexGuard<'static, ()> {
+        TEST_GATE.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    #[test]
+    fn disabled_is_inert() {
+        let _g = serial();
+        assert!(!enabled());
+        counter_add("x", 5);
+        observe("h", 3);
+        gauge_set("g", 1);
+        let s = span!("nothing", "p{}", 3);
+        assert_eq!(s.id(), None);
+        drop(s);
+        let session = ObsSession::begin();
+        let report = session.finish();
+        assert!(report.counters.is_empty(), "pre-session writes must vanish");
+        assert!(report.spans.is_empty());
+    }
+
+    #[test]
+    fn counters_gauges_hists_accumulate() {
+        let _g = serial();
+        let session = ObsSession::begin();
+        counter_add("msgs", 3);
+        counter_add("msgs", 4);
+        gauge_set("parts", 8);
+        gauge_set("parts", 9);
+        observe("mailbox", 0);
+        observe("mailbox", 5);
+        observe("mailbox", 5);
+        let r = session.finish();
+        assert_eq!(r.counter("msgs"), 7);
+        assert_eq!(r.gauges["parts"], 9);
+        let h = &r.hists["mailbox"];
+        assert_eq!((h.count, h.sum, h.min, h.max), (3, 10, 0, 5));
+        assert_eq!(h.buckets[&0], 1); // the zero sample
+        assert_eq!(h.buckets[&3], 2); // 5 is 3 bits wide
+        assert!(!enabled(), "finish must disable recording");
+    }
+
+    #[test]
+    fn spans_nest_and_record_parents() {
+        let _g = serial();
+        let session = ObsSession::begin();
+        let outer = span!("outer");
+        let outer_id = outer.id().unwrap();
+        {
+            let _inner = span!("inner", "i{}", 1);
+        }
+        let worker = span_under("worker", Some(outer_id), || "w0".into());
+        drop(worker);
+        drop(outer);
+        let r = session.finish();
+        assert_eq!(r.spans.len(), 3);
+        let inner = r.spans.iter().find(|s| s.name == "inner").unwrap();
+        assert_eq!(inner.parent, Some(outer_id));
+        assert_eq!(inner.label, "i1");
+        let worker = r.spans.iter().find(|s| s.name == "worker").unwrap();
+        assert_eq!(worker.parent, Some(outer_id));
+        let outer = r.spans.iter().find(|s| s.name == "outer").unwrap();
+        assert!(inner.start_ns >= outer.start_ns && inner.end_ns <= outer.end_ns);
+        assert_eq!(r.parent_key(inner), "outer[]");
+    }
+
+    #[test]
+    fn span_seq_numbers_occurrences() {
+        let _g = serial();
+        let session = ObsSession::begin();
+        for _ in 0..3 {
+            let _it = span_seq("iter");
+        }
+        let r = session.finish();
+        let labels: Vec<&str> =
+            r.spans.iter().filter(|s| s.name == "iter").map(|s| s.label.as_str()).collect();
+        assert_eq!(labels, vec!["#0", "#1", "#2"]);
+    }
+
+    #[test]
+    fn cross_thread_spans_parent_explicitly() {
+        let _g = serial();
+        let session = ObsSession::begin();
+        let stage = span!("stage");
+        let sid = stage.id();
+        std::thread::scope(|scope| {
+            for i in 0..2 {
+                scope.spawn(move || {
+                    let _s = span_under("stage.part", sid, || format!("p{i}"));
+                });
+            }
+        });
+        drop(stage);
+        let r = session.finish();
+        assert_eq!(r.span_count("stage.part"), 2);
+        for s in r.spans.iter().filter(|s| s.name == "stage.part") {
+            assert_eq!(s.parent, sid);
+        }
+    }
+
+    #[test]
+    fn canonical_json_strips_timing_and_sorts() {
+        let _g = serial();
+        let mk = |order_flip: bool| {
+            let session = ObsSession::begin();
+            let stage = span!("stage");
+            let sid = stage.id();
+            let labels = if order_flip { ["p1", "p0"] } else { ["p0", "p1"] };
+            for l in labels {
+                let _s = span_under("stage.part", sid, || l.to_string());
+                std::thread::sleep(std::time::Duration::from_micros(50));
+            }
+            drop(stage);
+            counter_add("bytes", 10);
+            session.finish().canonical_json()
+        };
+        let a = mk(false);
+        let b = mk(true);
+        assert_eq!(a, b, "canonical export must not depend on completion order");
+        assert!(!a.contains("start_ns"));
+        assert!(!a.contains("thread"));
+        assert!(a.contains("\"bytes\": 10"));
+    }
+
+    #[test]
+    fn full_json_has_schema_and_stages() {
+        let _g = serial();
+        let session = ObsSession::begin();
+        {
+            let _s = span!("work");
+        }
+        counter_add("n", 1);
+        observe("h", 2);
+        let j = session.finish().to_json();
+        assert!(j.contains(&format!("\"schema_version\": {SCHEMA_VERSION}")));
+        assert!(j.contains("\"stages\""));
+        assert!(j.contains("\"name\": \"work\""));
+        assert!(j.contains("\"histograms\""));
+        // Braces balance (cheap well-formedness check).
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn json_escaping_survives_hostile_labels() {
+        let _g = serial();
+        let session = ObsSession::begin();
+        {
+            let _s = span_with("weird", || "a\"b\\c\nd".to_string());
+        }
+        let j = session.finish().to_json();
+        assert!(j.contains("a\\\"b\\\\c\\nd"));
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+    }
+
+    #[test]
+    fn sessions_reset_state() {
+        let _g = serial();
+        let s1 = ObsSession::begin();
+        counter_add("x", 1);
+        let _ = s1.finish();
+        let s2 = ObsSession::begin();
+        counter_add("y", 2);
+        let r = s2.finish();
+        assert_eq!(r.counter("x"), 0, "previous session must not leak");
+        assert_eq!(r.counter("y"), 2);
+    }
+}

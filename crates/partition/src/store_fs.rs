@@ -68,6 +68,7 @@ const SNAPSHOT_HEADER: usize = 24;
 /// through a `.tmp` sibling + rename so a crash mid-write never leaves a
 /// plausible-looking half snapshot behind.
 pub fn write_snapshot(path: impl AsRef<Path>, iteration: u32, pid: u32, payload: &[u8]) -> Result<()> {
+    let _s = surfer_obs::span_with("fs.snapshot.write", || format!("p{pid}"));
     let path = path.as_ref();
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
@@ -82,6 +83,10 @@ pub fn write_snapshot(path: impl AsRef<Path>, iteration: u32, pid: u32, payload:
     let tmp = path.with_extension("tmp");
     std::fs::write(&tmp, &buf)?;
     std::fs::rename(&tmp, path)?;
+    if surfer_obs::enabled() {
+        surfer_obs::counter_add("fs.snapshot.writes", 1);
+        surfer_obs::counter_add("fs.snapshot.write_bytes", buf.len() as u64);
+    }
     Ok(())
 }
 
@@ -93,8 +98,13 @@ pub fn write_snapshot(path: impl AsRef<Path>, iteration: u32, pid: u32, payload:
 /// recovery fall back to the next replica instead of resuming from damaged
 /// state.
 pub fn read_snapshot(path: impl AsRef<Path>, expect_pid: u32) -> Result<(u32, Vec<u8>)> {
+    let _s = surfer_obs::span_with("fs.snapshot.read", || format!("p{expect_pid}"));
     let path = path.as_ref();
     let blob = std::fs::read(path)?;
+    if surfer_obs::enabled() {
+        surfer_obs::counter_add("fs.snapshot.reads", 1);
+        surfer_obs::counter_add("fs.snapshot.read_bytes", blob.len() as u64);
+    }
     let corrupt =
         |msg: String| GraphError::Corrupt(format!("snapshot {}: {msg}", path.display()));
     if blob.len() < SNAPSHOT_HEADER || &blob[..4] != SNAPSHOT_MAGIC {
@@ -151,6 +161,10 @@ pub fn write_partitioned(dir: impl AsRef<Path>, pg: &PartitionedGraph) -> Result
             AdjacencyRecord { id: v, neighbors: g.neighbors(v).to_vec() }.encode(&mut buf);
         }
         std::fs::write(dir.join(format!("part-{pid}.adj")), &buf)?;
+        if surfer_obs::enabled() {
+            surfer_obs::counter_add("fs.part.writes", 1);
+            surfer_obs::counter_add("fs.part.write_bytes", buf.len() as u64);
+        }
         manifest.partitions.push((pg.machine_of(pid), meta.members.len() as u32));
         manifest.checksums.push(crc32(&buf));
     }
@@ -224,6 +238,10 @@ pub fn read_partition_verified(
     expect_crc: Option<u32>,
 ) -> Result<Vec<AdjacencyRecord>> {
     let blob = std::fs::read(dir.as_ref().join(format!("part-{pid}.adj")))?;
+    if surfer_obs::enabled() {
+        surfer_obs::counter_add("fs.part.reads", 1);
+        surfer_obs::counter_add("fs.part.read_bytes", blob.len() as u64);
+    }
     if let Some(want) = expect_crc {
         let got = crc32(&blob);
         if got != want {

@@ -14,6 +14,8 @@
 //! * [`mapreduce`] — the home-grown MapReduce baseline engine.
 //! * [`core`] — the propagation engine and the `Surfer` entry point.
 //! * [`apps`] — the six paper applications (NR, RS, TC, VDD, RLG, TFL).
+//! * [`obs`] — zero-dependency span tracing + metrics for the real
+//!   execution path (`reproduce -- profile`).
 //!
 //! ## Quickstart
 //!
@@ -38,6 +40,7 @@ pub use surfer_cluster as cluster;
 pub use surfer_core as core;
 pub use surfer_graph as graph;
 pub use surfer_mapreduce as mapreduce;
+pub use surfer_obs as obs;
 pub use surfer_partition as partition;
 
 /// Convenient glob-import surface for examples and applications.

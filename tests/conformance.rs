@@ -1,0 +1,209 @@
+//! Differential conformance: every application in `crates/apps` through
+//! every execution mode the repo implements, checked against its serial
+//! reference and against itself across worker-thread counts.
+//!
+//! For each app the harness runs:
+//!
+//! * **propagation** at every optimization level O1–O4,
+//! * **MapReduce**,
+//!
+//! each at worker-thread counts {1, 2, max}, asserting (a) agreement with
+//! the serial reference and (b) *bit-identical* outputs across thread
+//! counts within a mode (compared via `Debug` formatting, which renders
+//! every f64 bit-exactly). Separate tests push the PageRank propagation
+//! program through cascaded execution and the fault-free recovery path and
+//! require bit-identical final vertex states against the plain engine.
+//!
+//! Optimization levels and MapReduce may legitimately differ from each
+//! other in the last float bits (local combination regroups f64 sums), so
+//! cross-mode agreement uses each app's `ExactOutput` tolerance instead.
+
+use std::fmt::Debug;
+use surfer::apps::pagerank::PageRankPropagation;
+use surfer::apps::{
+    BreadthFirstSearch, ConnectedComponents, ExactOutput, NetworkRanking, RecommenderSystem,
+    ReverseLinkGraph, TriangleCounting, TwoHopFriends, VertexDegreeDistribution,
+};
+use surfer::cluster::{resolve_threads, ClusterConfig, FaultPlan};
+use surfer::core::{
+    run_cascaded, run_with_recovery, EngineOptions, OptimizationLevel, PropagationEngine,
+    RecoveryConfig, Surfer, SurferApp,
+};
+use surfer::graph::generators::social::{msn_like, MsnScale};
+use surfer::graph::{CsrGraph, VertexId};
+
+const SEED: u64 = 0xE2E;
+const PARTITIONS: u32 = 8;
+
+/// Thread knobs to sweep, deduplicated by what they resolve to on this host
+/// (on a single-core runner `0` resolves to 1 and is dropped).
+fn thread_sweep() -> Vec<usize> {
+    let mut resolved = Vec::new();
+    let mut sweep = Vec::new();
+    for t in [1usize, 2, 0] {
+        let r = resolve_threads(t);
+        if !resolved.contains(&r) {
+            resolved.push(r);
+            sweep.push(t);
+        }
+    }
+    sweep
+}
+
+fn graph() -> CsrGraph {
+    msn_like(MsnScale::Tiny, SEED)
+}
+
+fn build(g: &CsrGraph, level: OptimizationLevel, threads: usize) -> Surfer {
+    let cluster = ClusterConfig::tree(2, 1, 8).build();
+    Surfer::builder(cluster)
+        .partitions(PARTITIONS)
+        .optimization(level)
+        .threads(threads)
+        .load(g)
+}
+
+/// The differential harness: propagation O1–O4 and MapReduce, each across
+/// the thread sweep, against `reference` within the given tolerances
+/// (`0.0` for exact apps — their `ExactOutput` ignores eps).
+fn conform<A>(g: &CsrGraph, app: &A, reference: &A::Output, prop_eps: f64, mr_eps: f64)
+where
+    A: SurferApp,
+    A::Output: ExactOutput + Debug,
+{
+    let sweep = thread_sweep();
+    for level in OptimizationLevel::ALL {
+        let mut rendered: Vec<String> = Vec::new();
+        for &t in &sweep {
+            let run = build(g, level, t).run(app).expect("propagation run");
+            assert!(
+                run.output.approx_eq(reference, prop_eps),
+                "{} diverged from reference at {level:?} threads={t}",
+                app.name(),
+            );
+            rendered.push(format!("{:?}", run.output));
+        }
+        for r in &rendered[1..] {
+            assert_eq!(r, &rendered[0], "{} not thread-invariant at {level:?}", app.name());
+        }
+    }
+    let mut rendered: Vec<String> = Vec::new();
+    for &t in &sweep {
+        let run = build(g, OptimizationLevel::O4, t).run_mapreduce(app).expect("mapreduce run");
+        assert!(
+            run.output.approx_eq(reference, mr_eps),
+            "{} MapReduce diverged from reference at threads={t}",
+            app.name(),
+        );
+        rendered.push(format!("{:?}", run.output));
+    }
+    for r in &rendered[1..] {
+        assert_eq!(r, &rendered[0], "{} MapReduce not thread-invariant", app.name());
+    }
+}
+
+#[test]
+fn network_ranking_conforms() {
+    let g = graph();
+    let app = NetworkRanking::new(4);
+    let reference = app.reference(&g);
+    conform(&g, &app, &reference, 1e-12, 1e-9);
+}
+
+#[test]
+fn recommender_conforms() {
+    let g = graph();
+    let app = RecommenderSystem::new(4, SEED);
+    let reference = app.reference(&g);
+    assert!(reference.count() > 0, "campaign should spread");
+    conform(&g, &app, &reference, 0.0, 0.0);
+}
+
+#[test]
+fn triangle_counting_conforms() {
+    let g = graph();
+    let app = TriangleCounting::new(SEED);
+    let reference = app.reference(&g);
+    assert!(reference.triangles > 0, "sample found no triangles");
+    conform(&g, &app, &reference, 0.0, 0.0);
+}
+
+#[test]
+fn degree_distribution_conforms() {
+    let g = graph();
+    let reference = VertexDegreeDistribution.reference(&g);
+    conform(&g, &VertexDegreeDistribution, &reference, 0.0, 0.0);
+}
+
+#[test]
+fn reverse_link_graph_conforms() {
+    let g = graph();
+    let reference = ReverseLinkGraph.reference(&g);
+    conform(&g, &ReverseLinkGraph, &reference, 0.0, 0.0);
+}
+
+#[test]
+fn two_hop_friends_conforms() {
+    let g = graph();
+    let app = TwoHopFriends::new(SEED);
+    let reference = app.reference(&g);
+    conform(&g, &app, &reference, 0.0, 0.0);
+}
+
+#[test]
+fn connected_components_conforms() {
+    // CC needs bidirectional message flow: symmetrize first.
+    let g = graph().symmetrize();
+    let app = ConnectedComponents::new();
+    let reference = app.reference(&g);
+    conform(&g, &app, &reference, 0.0, 0.0);
+}
+
+#[test]
+fn breadth_first_search_conforms() {
+    let g = graph();
+    let app = BreadthFirstSearch::from_source(VertexId(0));
+    let reference = app.reference(&g);
+    conform(&g, &app, &reference, 0.0, 0.0);
+}
+
+/// Cascaded execution and the (fault-free) recovery path are pure execution
+/// strategies: both must leave the *bit-identical* vertex states the plain
+/// engine computes, at every thread count.
+#[test]
+fn cascaded_and_recovery_match_plain_engine_bit_exactly() {
+    const ITERATIONS: u32 = 4;
+    let g = graph();
+    let prog = PageRankPropagation { damping: 0.85, n: g.num_vertices() as u64 };
+    let bits = |s: &[f64]| s.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+    for &t in &thread_sweep() {
+        let s = build(&g, OptimizationLevel::O4, t);
+        let (cluster, pg) = (s.cluster(), s.partitioned());
+        let opts = EngineOptions::full().threads(t);
+        let engine = PropagationEngine::new(cluster, pg, opts);
+
+        let mut plain = engine.init_state(&prog);
+        engine.run(&prog, &mut plain, ITERATIONS).expect("plain run");
+
+        let mut cascaded = engine.init_state(&prog);
+        run_cascaded(&engine, &prog, &mut cascaded, ITERATIONS).expect("cascaded run");
+        assert_eq!(bits(&plain), bits(&cascaded), "cascaded diverged at threads={t}");
+
+        let dir = std::env::temp_dir().join(format!("surfer-conformance-{SEED}-{t}"));
+        let cfg = RecoveryConfig::new(2, &dir);
+        let mut recovered = engine.init_state(&prog);
+        run_with_recovery(
+            cluster,
+            pg,
+            opts,
+            &prog,
+            &mut recovered,
+            ITERATIONS,
+            &cfg,
+            &FaultPlan::none(),
+        )
+        .expect("fault-free recovery run");
+        let _ = std::fs::remove_dir_all(&dir);
+        assert_eq!(bits(&plain), bits(&recovered), "recovery path diverged at threads={t}");
+    }
+}

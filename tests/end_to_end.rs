@@ -1,99 +1,13 @@
-//! End-to-end integration: generate a social graph, load it onto a
-//! simulated cloud through the public `surfer` facade, run every
-//! application on both primitives, and check the results against serial
-//! references.
+//! End-to-end integration through the public `surfer` facade: partitioning
+//! invariants that the differential suite does not sweep.
+//!
+//! Per-app correctness across primitives, optimization levels and thread
+//! counts lives in `tests/conformance.rs`.
 
-use surfer::apps::{
-    degree_dist::VertexDegreeDistribution, pagerank::NetworkRanking,
-    recommender::RecommenderSystem, reverse::ReverseLinkGraph, triangle::TriangleCounting,
-    two_hop::TwoHopFriends, ExactOutput,
-};
-use surfer::core::OptimizationLevel;
+use surfer::apps::{pagerank::NetworkRanking, ExactOutput};
 use surfer::prelude::*;
 
 const SEED: u64 = 0xE2E;
-
-fn fixture() -> (CsrGraph, Surfer) {
-    let graph = msn_like(MsnScale::Tiny, SEED);
-    let cluster = ClusterConfig::tree(2, 1, 8).build();
-    let surfer = Surfer::builder(cluster)
-        .partitions(8)
-        .optimization(OptimizationLevel::O4)
-        .load(&graph);
-    (graph, surfer)
-}
-
-#[test]
-fn pagerank_matches_reference_on_both_primitives() {
-    let (g, s) = fixture();
-    let app = NetworkRanking::new(4);
-    let reference = app.reference(&g);
-    let prop = s.run(&app).unwrap();
-    let mr = s.run_mapreduce(&app).unwrap();
-    assert!(prop.output.approx_eq(&reference, 1e-12));
-    assert!(mr.output.approx_eq(&reference, 1e-9));
-}
-
-#[test]
-fn recommender_matches_reference() {
-    let (g, s) = fixture();
-    let app = RecommenderSystem::new(4, SEED);
-    let reference = app.reference(&g);
-    assert_eq!(s.run(&app).unwrap().output, reference);
-    assert_eq!(s.run_mapreduce(&app).unwrap().output, reference);
-    assert!(reference.count() > 0, "campaign should spread");
-}
-
-#[test]
-fn triangle_count_matches_reference() {
-    let (g, s) = fixture();
-    let app = TriangleCounting::new(SEED);
-    let reference = app.reference(&g);
-    assert_eq!(s.run(&app).unwrap().output, reference);
-    assert_eq!(s.run_mapreduce(&app).unwrap().output, reference);
-    assert!(reference.triangles > 0, "sample found no triangles");
-}
-
-#[test]
-fn degree_distribution_matches_reference() {
-    let (g, s) = fixture();
-    let reference = VertexDegreeDistribution.reference(&g);
-    assert_eq!(s.run(&VertexDegreeDistribution).unwrap().output, reference);
-    assert_eq!(s.run_mapreduce(&VertexDegreeDistribution).unwrap().output, reference);
-}
-
-#[test]
-fn reverse_link_graph_matches_reference() {
-    let (g, s) = fixture();
-    let reference = ReverseLinkGraph.reference(&g);
-    assert_eq!(s.run(&ReverseLinkGraph).unwrap().output, reference);
-    assert_eq!(s.run_mapreduce(&ReverseLinkGraph).unwrap().output, reference);
-}
-
-#[test]
-fn two_hop_lists_match_reference() {
-    let (g, s) = fixture();
-    let app = TwoHopFriends::new(SEED);
-    let reference = app.reference(&g);
-    assert_eq!(s.run(&app).unwrap().output, reference);
-    assert_eq!(s.run_mapreduce(&app).unwrap().output, reference);
-}
-
-#[test]
-fn results_are_invariant_to_optimization_level() {
-    // O1..O4 change placement and locality optimizations — never results.
-    let graph = msn_like(MsnScale::Tiny, SEED);
-    let app = NetworkRanking::new(3);
-    let mut outputs = Vec::new();
-    for level in OptimizationLevel::ALL {
-        let cluster = ClusterConfig::tree(2, 1, 8).build();
-        let s = Surfer::builder(cluster).partitions(8).optimization(level).load(&graph);
-        outputs.push(s.run(&app).unwrap().output);
-    }
-    for o in &outputs[1..] {
-        assert!(o.approx_eq(&outputs[0], 1e-12), "optimization level changed results");
-    }
-}
 
 #[test]
 fn results_are_invariant_to_partition_count() {

@@ -1,0 +1,142 @@
+//! Property and determinism tests for the `surfer-obs` tracer.
+//!
+//! Every test here begins an [`surfer::obs::ObsSession`], so the tests in
+//! this binary serialize on the session gate and never observe each
+//! other's metrics. (The conformance and end-to-end suites are deliberately
+//! session-free for the same reason.) Covered properties:
+//!
+//! * obs `exec.*` counters are *identical* to the `ExecReport` totals the
+//!   simulator returns, for random graphs, topologies and thread counts
+//!   (fault-free — recovery re-charges transfers);
+//! * span trees are well-nested: every child interval lies inside its
+//!   parent's interval and every parent id resolves;
+//! * golden-trace determinism: the canonical (timing-stripped) JSON export
+//!   is byte-identical run-to-run at a fixed seed, and across worker
+//!   thread counts.
+
+use proptest::prelude::*;
+use surfer::apps::pagerank::{NetworkRanking, PageRankPropagation};
+use surfer::cluster::{ClusterConfig, FaultPlan};
+use surfer::core::{
+    run_with_recovery, EngineOptions, OptimizationLevel, PropagationEngine, RecoveryConfig, Surfer,
+};
+use surfer::graph::generators::social::{msn_like, MsnScale};
+use surfer::graph::CsrGraph;
+use surfer::obs::ObsSession;
+
+fn build(g: &CsrGraph, cluster: ClusterConfig, partitions: u32, threads: usize) -> Surfer {
+    Surfer::builder(cluster.build())
+        .partitions(partitions)
+        .optimization(OptimizationLevel::O4)
+        .threads(threads)
+        .load(g)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// The tracer and the simulator account the same execution: obs
+    /// `exec.*` counters must equal the `ExecReport` totals exactly.
+    #[test]
+    fn exec_counters_match_exec_report(
+        seed in 0u64..1_000_000,
+        topo in 0u8..2,
+        machines in 2u16..6,
+        partitions_log2 in 0u32..5,
+        threads in 1usize..4,
+    ) {
+        let g = msn_like(MsnScale::Tiny, seed);
+        let cluster = if topo == 1 {
+            // Two pods need an even machine count.
+            ClusterConfig::tree(2, 1, machines & !1)
+        } else {
+            ClusterConfig::flat(machines)
+        };
+        let surfer = build(&g, cluster, 1 << partitions_log2, threads);
+
+        for mapreduce in [false, true] {
+            let session = ObsSession::begin();
+            let app = NetworkRanking::new(2);
+            let run = if mapreduce { surfer.run_mapreduce(&app) } else { surfer.run(&app) }.unwrap();
+            let trace = session.finish();
+            prop_assert_eq!(trace.counter("exec.tasks"), run.report.tasks_completed);
+            prop_assert_eq!(trace.counter("exec.transfers"), run.report.transfers_completed);
+            prop_assert_eq!(trace.counter("exec.net_bytes"), run.report.network_bytes);
+            prop_assert_eq!(trace.counter("exec.disk_read_bytes"), run.report.disk_read_bytes);
+            prop_assert_eq!(trace.counter("exec.disk_write_bytes"), run.report.disk_write_bytes);
+        }
+    }
+}
+
+#[test]
+fn span_trees_are_well_nested() {
+    let g = msn_like(MsnScale::Tiny, 7);
+    let surfer = build(&g, ClusterConfig::tree(2, 1, 4), 8, 2);
+
+    let session = ObsSession::begin();
+    surfer.run(&NetworkRanking::new(3)).unwrap();
+    surfer.run_mapreduce(&NetworkRanking::new(3)).unwrap();
+    let trace = session.finish();
+
+    assert!(trace.spans.len() > 20, "expected a rich span forest");
+    let mut children = 0;
+    for s in &trace.spans {
+        assert!(s.start_ns <= s.end_ns, "span {} ends before it starts", s.name);
+        if let Some(pid) = s.parent {
+            let p = trace
+                .span_by_id(pid)
+                .unwrap_or_else(|| panic!("span {} has dangling parent id {pid}", s.name));
+            assert!(
+                p.start_ns <= s.start_ns && s.end_ns <= p.end_ns,
+                "span {}[{}] not nested inside parent {}[{}]",
+                s.name,
+                s.label,
+                p.name,
+                p.label,
+            );
+            children += 1;
+        }
+    }
+    assert!(children > 10, "expected parented spans from both engines");
+}
+
+/// One trace of the whole instrumented surface: propagation, MapReduce and
+/// a checkpointed recovery run (fault-free).
+fn golden_trace(threads: usize, dir_tag: &str) -> String {
+    const SEED: u64 = 0x601D;
+    let g = msn_like(MsnScale::Tiny, SEED);
+    let surfer = build(&g, ClusterConfig::tree(2, 1, 4), 8, threads);
+    let prog = PageRankPropagation { damping: 0.85, n: g.num_vertices() as u64 };
+
+    let session = ObsSession::begin();
+    surfer.run(&NetworkRanking::new(3)).unwrap();
+    surfer.run_mapreduce(&NetworkRanking::new(3)).unwrap();
+    let dir = std::env::temp_dir().join(format!("surfer-golden-{dir_tag}-{threads}"));
+    let cfg = RecoveryConfig::new(2, &dir);
+    let opts = EngineOptions::full().threads(threads);
+    let engine = PropagationEngine::new(surfer.cluster(), surfer.partitioned(), opts);
+    let mut state = engine.init_state(&prog);
+    run_with_recovery(
+        surfer.cluster(),
+        surfer.partitioned(),
+        opts,
+        &prog,
+        &mut state,
+        4,
+        &cfg,
+        &FaultPlan::none(),
+    )
+    .unwrap();
+    let _ = std::fs::remove_dir_all(&dir);
+    session.finish().canonical_json()
+}
+
+#[test]
+fn canonical_trace_is_deterministic_and_thread_invariant() {
+    let first = golden_trace(1, "a");
+    assert_eq!(first, golden_trace(1, "b"), "trace not deterministic run-to-run");
+    assert_eq!(first, golden_trace(2, "c"), "non-timing trace content depends on thread count");
+    for key in ["prop.messages", "mr.pairs", "ckpt.writes", "fs.snapshot.write_bytes"] {
+        assert!(first.contains(&format!("\"{key}\"")), "golden trace missing {key}");
+    }
+}
