@@ -7,9 +7,9 @@
 //! ```
 //!
 //! Subcommands: all, table1, table2, table3, table4, table5, fig6, fig7,
-//! fig9, fig10, fig11, fig12, cascade, bench, chaos, profile. Options:
-//! `--scale tiny|small|medium|large` (default small), `--machines N`
-//! (default 32), `--partitions P` (default 64).
+//! fig9, fig10, fig11, fig12, cascade, bench, chaos, profile, perfetto,
+//! baseline, gate. Options: `--scale tiny|small|medium|large` (default
+//! small), `--machines N` (default 32), `--partitions P` (default 64).
 //!
 //! `bench` measures host wall-clock of the real propagation computation at
 //! worker-thread counts {1, 2, max} and writes `BENCH_propagation.json`.
@@ -17,7 +17,12 @@
 //! splices the result into the same JSON document. `profile` records a
 //! `surfer-obs` trace of the real execution path (propagation, MapReduce,
 //! checkpoint/restore, replica I/O), writes `TRACE_profile.json`, prints a
-//! per-thread span Gantt, and exits non-zero on schema drift.
+//! per-thread span Gantt, and exits non-zero on schema drift (after printing
+//! a field-level diff). `perfetto` writes the same session as Chrome Trace
+//! Event JSON (`TRACE_perfetto.json`, loadable at ui.perfetto.dev).
+//! `baseline` snapshots the deterministic flight-recorder metrics into
+//! `OBS_baseline.json`; `gate` re-runs the job and fails on any metric
+//! drifting beyond tolerance — the CI metrics regression gate.
 
 use surfer_bench::experiments::*;
 use surfer_bench::{ExpConfig, Workload};
@@ -62,7 +67,7 @@ fn main() {
     let needs_workload = matches!(
         cmd.as_str(),
         "all" | "table1" | "table2" | "table3" | "fig6" | "fig7" | "fig9" | "fig10" | "fig12"
-            | "cascade" | "bench" | "chaos" | "profile"
+            | "cascade" | "bench" | "chaos" | "profile" | "perfetto" | "gate" | "baseline"
     );
     let workload = needs_workload.then(|| {
         eprintln!("# generating + partitioning the MSN-like graph ...");
@@ -139,12 +144,71 @@ fn main() {
             eprintln!("# wrote TRACE_profile.json");
             let problems = profile::validate_schema(&r.json);
             if !problems.is_empty() {
-                die(&format!("TRACE_profile.json schema drift: {problems:?}"));
+                eprintln!("error: TRACE_profile.json drifted from the expected schema:");
+                for p in &problems {
+                    eprintln!("  - {p}");
+                }
+                die(&format!(
+                    "{} schema problem(s); if the change is intentional, update \
+                     profile::REQUIRED_KEYS (and bump SCHEMA_VERSION on breaking changes)",
+                    problems.len()
+                ));
             }
             println!("{}", r.json);
         }
+        "perfetto" => {
+            let r = perfetto::run(w.expect("workload"));
+            std::fs::write("TRACE_perfetto.json", &r.json)
+                .unwrap_or_else(|e| die(&format!("writing TRACE_perfetto.json: {e}")));
+            eprintln!(
+                "# wrote TRACE_perfetto.json ({} spans) — load it at https://ui.perfetto.dev",
+                r.profile.report.spans.len()
+            );
+            let problems = perfetto::validate(&r.json);
+            if !problems.is_empty() {
+                eprintln!("error: TRACE_perfetto.json is not a loadable trace:");
+                for p in &problems {
+                    eprintln!("  - {p}");
+                }
+                die(&format!("{} trace problem(s)", problems.len()));
+            }
+        }
+        "baseline" => {
+            let wl = w.expect("workload");
+            let r = profile::run(wl);
+            let doc = gate::render_baseline(wl, &gate::snapshot(&r.report));
+            std::fs::write("OBS_baseline.json", &doc)
+                .unwrap_or_else(|e| die(&format!("writing OBS_baseline.json: {e}")));
+            eprintln!("# wrote OBS_baseline.json (commit it to pin the metrics)");
+            println!("{doc}");
+        }
+        "gate" => {
+            let baseline = std::fs::read_to_string("OBS_baseline.json").unwrap_or_else(|e| {
+                die(&format!(
+                    "reading OBS_baseline.json: {e} (run `reproduce -- baseline` first)"
+                ))
+            });
+            let drifts =
+                gate::run(w.expect("workload"), &baseline).unwrap_or_else(|e| die(&e));
+            if drifts.is_empty() {
+                eprintln!("# metrics gate: PASS (all pinned metrics match OBS_baseline.json)");
+            } else {
+                eprintln!(
+                    "error: metrics gate FAILED — {} metric(s) drifted from OBS_baseline.json:",
+                    drifts.len()
+                );
+                for d in &drifts {
+                    eprintln!("  - {}", d.message);
+                }
+                die(
+                    "if the drift is intentional, refresh the baseline with \
+                     `cargo run --release -p surfer-bench --bin reproduce -- baseline \
+                     --scale tiny --machines 4 --partitions 8` and commit OBS_baseline.json",
+                );
+            }
+        }
         other => die(&format!(
-            "unknown experiment '{other}' (all|table1..table5|fig6|fig7|fig9|fig10|fig11|fig12|cascade|ablation|bench|chaos|profile)"
+            "unknown experiment '{other}' (all|table1..table5|fig6|fig7|fig9|fig10|fig11|fig12|cascade|ablation|bench|chaos|profile|perfetto|baseline|gate)"
         )),
     };
 

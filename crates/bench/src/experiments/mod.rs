@@ -15,6 +15,8 @@ pub mod fig12;
 pub mod fig6;
 pub mod fig7;
 pub mod fig9;
+pub mod gate;
+pub mod perfetto;
 pub mod profile;
 pub mod table1;
 pub mod table2_3;

@@ -23,12 +23,26 @@ use surfer_apps::VertexDegreeDistribution;
 use surfer_cluster::{render_span_gantt, FaultPlan, MachineCrash};
 use surfer_core::{run_with_recovery, EngineOptions, OptimizationLevel, RecoveryConfig};
 use surfer_obs::{ObsSession, TraceReport, SCHEMA_VERSION};
-use surfer_partition::{load_partitioned, write_partitioned};
+use surfer_partition::{load_partitioned, sketch_quality, write_partitioned, SketchQuality};
 
 /// Propagation iterations of the profiled job.
 pub const ITERATIONS: u32 = 4;
 /// Checkpoint interval of the recovery stage.
 pub const CKPT_INTERVAL: u32 = 2;
+/// Straggler skew threshold of the profile report (`max >= 2x median`).
+pub const STRAGGLER_SKEW: f64 = 2.0;
+
+/// Fixed-point export of a ratio-valued quality metric (`x * 1e6`, rounded) —
+/// the gauge registry is integer-only by design.
+pub fn to_e6(x: f64) -> u64 {
+    (x * 1e6).round() as u64
+}
+
+/// The workload's partition-sketch quality (§4.1 metrics over the shared
+/// k-way result).
+pub fn quality_of(w: &Workload) -> SketchQuality {
+    sketch_quality(&w.graph, &w.kway.partitioning, &w.kway.sketch)
+}
 
 /// The captured profile: the raw trace plus its rendered artifacts.
 pub struct ProfileResult {
@@ -48,6 +62,18 @@ pub fn run(w: &Workload) -> ProfileResult {
     let prog = PageRankPropagation { damping: 0.85, n: w.graph.num_vertices() as u64 };
 
     let session = ObsSession::begin();
+
+    // 0. Partition-sketch quality analytics, as fixed-point gauges riding
+    // the same deterministic registry as the engine counters (and hence the
+    // same regression gate).
+    let q = quality_of(w);
+    surfer_obs::gauge_set("part.edge_cut_ratio_e6", to_e6(q.edge_cut_ratio));
+    surfer_obs::gauge_set("part.balance_e6", to_e6(q.balance));
+    surfer_obs::gauge_set("part.monotone", q.monotone as u64);
+    surfer_obs::gauge_set(
+        "part.leaf_locality_e6",
+        to_e6(q.level_locality.last().copied().unwrap_or(1.0)),
+    );
 
     // 1. Propagation through the full engine.
     let engine = surfer.propagation();
@@ -85,19 +111,41 @@ pub fn run(w: &Workload) -> ProfileResult {
     let _ = std::fs::remove_dir_all(&dir);
 
     let report = session.finish();
-    let json = render_json(w, &report);
+    let placement: Vec<u16> = pg.placement().iter().map(|m| m.0).collect();
+    let json = render_json(w, &report, &placement);
     let gantt = render_span_gantt(&report, 72);
     ProfileResult { report, json, gantt }
 }
 
-/// The `TRACE_profile.json` document: run configuration wrapping the trace
-/// export.
-fn render_json(w: &Workload, report: &TraceReport) -> String {
+/// The `TRACE_profile.json` document: run configuration and the flight
+/// recorder's derived analytics (partition quality, machine-pair traffic,
+/// stragglers) wrapping the trace export.
+fn render_json(w: &Workload, report: &TraceReport, placement: &[u16]) -> String {
+    let q = quality_of(w);
+    let locality: Vec<String> = q.level_locality.iter().map(|l| format!("{l:.6}")).collect();
+    let mm = report.machine_matrix(placement, w.cfg.machines as usize);
+    let stragglers: Vec<String> = report
+        .stragglers(STRAGGLER_SKEW)
+        .iter()
+        .map(|s| {
+            format!(
+                "{{\"kind\": \"{}\", \"seq\": {}, \"worst\": {}, \"skew\": {:.3}}}",
+                s.kind.as_str(),
+                s.seq,
+                s.worst,
+                s.skew
+            )
+        })
+        .collect();
     let trace = report.to_json();
     format!(
         "{{\n\"schema_version\": {v},\n\"experiment\": \"profile\",\n\
          \"scale\": \"{sc:?}\", \"machines\": {m}, \"partitions\": {p}, \"seed\": {s},\n\
          \"iterations\": {it}, \"checkpoint_interval\": {iv},\n\
+         \"partition_quality\": {{\"edge_cut_ratio\": {ec:.6}, \"balance\": {bal:.6}, \
+         \"monotone\": {mono}, \"level_locality\": [{loc}]}},\n\
+         \"machine_matrix\": {{\"local_bytes\": {ml}, \"cross_bytes\": {mc}, \"matrix\": {mj}}},\n\
+         \"stragglers\": {{\"skew_threshold\": {sk:.1}, \"flagged\": [{st}]}},\n\
          \"trace\": {t}}}\n",
         v = SCHEMA_VERSION,
         sc = w.cfg.scale,
@@ -106,6 +154,15 @@ fn render_json(w: &Workload, report: &TraceReport) -> String {
         s = w.cfg.seed,
         it = ITERATIONS,
         iv = CKPT_INTERVAL,
+        ec = q.edge_cut_ratio,
+        bal = q.balance,
+        mono = q.monotone,
+        loc = locality.join(", "),
+        ml = mm.diagonal_total(),
+        mc = mm.off_diagonal_total(),
+        mj = mm.to_json(),
+        sk = STRAGGLER_SKEW,
+        st = stragglers.join(", "),
         t = trace.trim_end(),
     )
 }
@@ -123,11 +180,24 @@ pub const REQUIRED_KEYS: &[&str] = &[
     "\"gauges\"",
     "\"histograms\"",
     "\"spans\"",
+    // Flight recorder.
+    "\"iterations\"",
+    "\"traffic_matrix\"",
+    "\"machine_matrix\"",
+    "\"stragglers\"",
+    // Partition-sketch quality analytics.
+    "\"partition_quality\"",
+    "\"level_locality\"",
+    "\"part.edge_cut_ratio_e6\"",
+    "\"part.balance_e6\"",
+    "\"part.leaf_locality_e6\"",
     // Propagation.
     "\"prop.messages\"",
     "\"prop.transfer_calls\"",
     "\"prop.iterations\"",
     "\"prop.mailbox_size\"",
+    "\"prop.local_bytes\"",
+    "\"prop.cross_bytes\"",
     // MapReduce.
     "\"mr.pairs\"",
     "\"mr.shuffle.bytes\"",
@@ -185,6 +255,13 @@ mod tests {
         assert!(r.report.counter("fs.part.write_bytes") > 0, "store writes instrumented");
         assert!(r.report.counter("fs.snapshot.read_bytes") > 0, "snapshot reads instrumented");
         assert!(r.report.span_count("prop.iteration") > 0);
+        let samples = r.report.samples_of(surfer_obs::StageKind::Propagation).count();
+        assert!(samples >= ITERATIONS as usize, "one flight-recorder sample per iteration");
+        let m = r.report.traffic_matrix();
+        assert_eq!(m.rows(), w.cfg.partitions as usize);
+        assert_eq!(m.diagonal_total(), r.report.counter("prop.local_bytes"));
+        assert_eq!(m.off_diagonal_total(), r.report.counter("prop.cross_bytes"));
+        assert!(r.report.gauges.contains_key("part.edge_cut_ratio_e6"), "quality gauges set");
         assert!(r.gantt.contains('T'), "gantt should show transfer spans:\n{}", r.gantt);
         let problems = validate_schema(&r.json);
         assert!(problems.is_empty(), "schema drift: {problems:?}\n{}", r.json);

@@ -294,8 +294,12 @@ impl<'c> Executor<'c> {
             // Only cross-machine transfers cost network bytes (fault-free:
             // tasks run where their spec places them), mirroring the
             // launch-time charge in run_with_faults.
-            if self.tasks[src].spec.machine != self.tasks[dst].spec.machine {
+            let (from, to) = (self.tasks[src].spec.machine, self.tasks[dst].spec.machine);
+            if from != to {
                 surfer_obs::counter_add("exec.net_bytes", bytes);
+                if self.cluster.crosses_pod(from, to) {
+                    surfer_obs::counter_add("exec.cross_pod_bytes", bytes);
+                }
             }
         }
         let id = self.transfers.len();

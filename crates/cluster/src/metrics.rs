@@ -5,6 +5,31 @@
 //! *total network I/O* and *total disk I/O*; Figure 10 additionally plots
 //! disk-I/O *rate over time* during fault recovery. [`ExecReport`] carries
 //! all of them.
+//!
+//! ## Boundary with `surfer-obs`
+//!
+//! Two metric systems coexist by design and must not be conflated:
+//!
+//! * **This module** accounts the *simulated cluster* in simulated time —
+//!   what the modeled 32-machine deployment would have done. It is always
+//!   on, is returned per run, and is the source of every paper table/figure.
+//! * **`surfer-obs`** accounts the *host process* in wall-clock time —
+//!   what this binary actually did (spans, counters, the flight recorder).
+//!   It is session-gated and off by default.
+//!
+//! Where the two see the same event, the executor double-books it into both
+//! (see `Executor::add_task` / `add_transfer`): `exec.tasks`,
+//! `exec.transfers`, `exec.net_bytes`, `exec.cross_pod_bytes`,
+//! `exec.disk_read_bytes` and `exec.disk_write_bytes` are the obs-side
+//! mirrors of [`ExecReport`]'s `tasks_completed`, `transfers_completed`,
+//! `network_bytes`, `cross_pod_bytes`, `disk_read_bytes` and
+//! `disk_write_bytes`. In a fault-free run the pairs are *equal by
+//! construction* (charged at the same call sites), and the
+//! `obs_properties` suite asserts exactly that; under injected faults the
+//! obs counters keep charging re-executions while the report nets them out,
+//! so the simulated side stays authoritative for costs. No other
+//! `ExecReport` field is mirrored — anything derivable from one system must
+//! query that system rather than duplicate the counter.
 
 use crate::exec::TaskKind;
 use crate::machine::MachineId;

@@ -95,6 +95,11 @@ pub fn span_glyph(name: &str) -> char {
 /// [`render_gantt`].
 pub fn render_span_gantt(report: &surfer_obs::TraceReport, width: usize) -> String {
     assert!(width >= 10, "gantt needs at least 10 columns");
+    if report.spans.is_empty() {
+        // A misleading "wall 0 .. 0.00ms" header with zero rows reads like a
+        // truncated chart; say explicitly that nothing was recorded.
+        return String::from("wall (no spans recorded)\n");
+    }
     let mut threads: Vec<&str> = report.spans.iter().map(|s| s.thread.as_str()).collect();
     threads.sort_unstable();
     threads.dedup();
@@ -201,6 +206,34 @@ mod tests {
         // and the trailing newline.
         assert_eq!(g.lines().count(), 2, "{g}");
         assert!(g.contains('C'), "child span should overpaint parent: {g}");
+    }
+
+    #[test]
+    fn span_gantt_on_empty_trace_says_so() {
+        let g = render_span_gantt(&surfer_obs::TraceReport::default(), 40);
+        assert_eq!(g, "wall (no spans recorded)\n");
+        // An abandoned session (begin/finish with no spans) renders the same.
+        let session = surfer_obs::ObsSession::begin();
+        let g = render_span_gantt(&session.finish(), 40);
+        assert_eq!(g, "wall (no spans recorded)\n");
+    }
+
+    #[test]
+    fn span_gantt_on_single_span_fills_its_row() {
+        let session = surfer_obs::ObsSession::begin();
+        {
+            let _only = surfer_obs::span("prop.transfer");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let report = session.finish();
+        assert_eq!(report.spans.len(), 1);
+        let g = render_span_gantt(&report, 40);
+        assert_eq!(g.lines().count(), 2, "header + one thread row: {g}");
+        let row = g.lines().nth(1).unwrap();
+        // The lone span defines the horizon, so its glyph reaches the right
+        // wall and dominates the row (it may start a hair after 0).
+        assert!(row.trim_end().ends_with("T|"), "{g}");
+        assert!(row.matches('T').count() >= 38, "{g}");
     }
 
     #[test]

@@ -461,12 +461,15 @@ fn write_checkpoint<S: Checkpointable>(
     // (home machine, snapshot bytes, replica sinks as (machine, bytes)).
     type CkptSpec = (MachineId, u64, Vec<(MachineId, u64)>);
     let mut specs: Vec<CkptSpec> = Vec::new();
+    let mut sample = surfer_obs::IterationSample::new(surfer_obs::StageKind::Checkpoint);
     for pid in cur.partitions() {
+        let t0 = surfer_obs::enabled().then(std::time::Instant::now);
         let mut payload = Vec::new();
         for &v in &cur.meta(pid).members {
             state[v.index()].write_to(&mut payload);
         }
         let len = payload.len() as u64;
+        let home = cur.machine_of(pid);
         let mut sinks = Vec::new();
         for (idx, &m) in store.replicas(pid).machines.iter().enumerate() {
             if !alive[m.0 as usize] {
@@ -476,13 +479,24 @@ fn write_checkpoint<S: Checkpointable>(
             write_snapshot(&path, iteration, pid, &payload)?;
             stats.snapshot_bytes += len;
             surfer_obs::counter_add("ckpt.snapshot_bytes", len);
+            // Recorder split: the home replica's copy is a local disk
+            // write; sibling copies ship the payload over the network.
+            if m == home {
+                sample.local_bytes += len;
+            } else {
+                sample.cross_bytes += len;
+            }
             if plan.corrupts(iteration, pid, idx) {
                 corrupt_snapshot_file(&path)?;
             }
             sinks.push((m, len));
         }
-        specs.push((cur.machine_of(pid), len, sinks));
+        if let Some(t0) = t0 {
+            sample.transfer_ns.push(t0.elapsed().as_nanos() as u64);
+        }
+        specs.push((home, len, sinks));
     }
+    surfer_obs::record_sample(sample);
     stats.checkpoints_written += 1;
     surfer_obs::counter_add("ckpt.writes", 1);
 
@@ -526,7 +540,9 @@ fn restore_checkpoint<S: Checkpointable>(
 ) -> SurferResult<ExecReport> {
     let _s = surfer_obs::span_with("ckpt.restore", || format!("it{iteration}"));
     let mut sources: Vec<(MachineId, u64)> = Vec::new();
+    let mut sample = surfer_obs::IterationSample::new(surfer_obs::StageKind::Restore);
     for pid in cur.partitions() {
+        let t0 = surfer_obs::enabled().then(std::time::Instant::now);
         let mut found: Option<(MachineId, u64, Vec<u8>)> = None;
         for &m in &store.replicas(pid).machines {
             if !alive[m.0 as usize] {
@@ -559,8 +575,19 @@ fn restore_checkpoint<S: Checkpointable>(
                 GraphError::Corrupt(format!("snapshot of partition {pid} too short"))
             })?;
         }
+        // Recorder split: a snapshot read off the partition's home machine
+        // must ship its payload back over the network.
+        if m == cur.machine_of(pid) {
+            sample.local_bytes += len;
+        } else {
+            sample.cross_bytes += len;
+        }
+        if let Some(t0) = t0 {
+            sample.transfer_ns.push(t0.elapsed().as_nanos() as u64);
+        }
         sources.push((m, len));
     }
+    surfer_obs::record_sample(sample);
 
     let mut ex = Executor::new(cluster);
     for (pid, (src_machine, len)) in sources.iter().enumerate() {

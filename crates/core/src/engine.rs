@@ -86,9 +86,10 @@ struct Outbox<M> {
 }
 
 /// What one partition's virtual-vertex transfer produced: `(virtual id,
-/// msg)` pairs in sequential emission order, the per-machine byte row, and
-/// the number of `transfer()` calls.
-type VirtualOutbox<M> = (Vec<(u64, M)>, Vec<u64>, u64);
+/// msg)` pairs in sequential emission order, the per-machine byte row, the
+/// number of `transfer()` calls, and the scan's wall time (0 when no obs
+/// session records).
+type VirtualOutbox<M> = (Vec<(u64, M)>, Vec<u64>, u64, u64);
 
 /// Per-partition cost tally for one iteration.
 #[derive(Debug, Clone, Default)]
@@ -106,6 +107,15 @@ struct PartitionTally {
     cross_out: BTreeMap<u32, u64>,
     /// Messages combined at this partition.
     combine_msgs: u64,
+    /// Messages whose destination stayed in this partition.
+    local_msgs: u64,
+    /// Messages sent across partitions (after local combination).
+    cross_msgs: u64,
+    /// Wall time of this partition's Transfer scan (only measured while an
+    /// obs session records; not deterministic).
+    transfer_ns: u64,
+    /// Wall time of this partition's Combine (same caveat).
+    combine_ns: u64,
 }
 
 /// The propagation engine bound to a cluster + partitioned graph.
@@ -256,6 +266,7 @@ impl<'a> PropagationEngine<'a> {
         // failing partition directly.
         let outboxes: Vec<Outbox<P::Msg>> = try_par_map_vec(threads, pids, |_, pid| {
             let _s = surfer_obs::span_under("prop.transfer.part", transfer_sid, || format!("p{pid}"));
+            let t0 = surfer_obs::enabled().then(std::time::Instant::now);
             let meta = pg.meta(pid);
             if surfer_obs::enabled() {
                 // Counter increments are commutative, so these per-partition
@@ -281,6 +292,7 @@ impl<'a> PropagationEngine<'a> {
                     if q == pid {
                         let bytes = prog.msg_bytes(&msg);
                         t.local_bytes += bytes;
+                        t.local_msgs += 1;
                         if pg.is_inner(to) {
                             t.local_inner_bytes += bytes;
                         }
@@ -297,6 +309,7 @@ impl<'a> PropagationEngine<'a> {
                     } else {
                         let bytes = prog.msg_bytes(&msg);
                         *t.cross_out.entry(q).or_insert(0) += bytes;
+                        t.cross_msgs += 1;
                         msgs.push((to, msg));
                     }
                 }
@@ -304,7 +317,11 @@ impl<'a> PropagationEngine<'a> {
             for (to, msg) in crossbuf {
                 let q = pg.pid_of(to);
                 *t.cross_out.entry(q).or_insert(0) += prog.msg_bytes(&msg);
+                t.cross_msgs += 1;
                 msgs.push((to, msg));
+            }
+            if let Some(t0) = t0 {
+                t.transfer_ns = t0.elapsed().as_nanos() as u64;
             }
             Outbox { msgs, tally: t, emitted }
         })
@@ -353,6 +370,8 @@ impl<'a> PropagationEngine<'a> {
                 "prop.cross_bytes",
                 tally.iter().flat_map(|t| t.cross_out.values()).sum(),
             );
+            surfer_obs::counter_add("prop.local_msgs", tally.iter().map(|t| t.local_msgs).sum());
+            surfer_obs::counter_add("prop.cross_msgs", tally.iter().map(|t| t.cross_msgs).sum());
         }
 
         // ---- Combine stage (real, one worker item per partition). ----
@@ -363,10 +382,14 @@ impl<'a> PropagationEngine<'a> {
         let mut chunks: Vec<(u32, &mut [Option<P::Msg>])> = Vec::with_capacity(tally.len());
         let mut rest: &mut [Option<P::Msg>] = &mut mailbox;
         let mut consumed = 0usize;
+        let mut mailbox_sizes: Vec<u64> = Vec::new();
         for pid in pg.partitions() {
             let end = offsets[enc.range(pid).1.index()];
             let (head, tail) = rest.split_at_mut(end - consumed);
             surfer_obs::observe("prop.mailbox_size", head.len() as u64);
+            if surfer_obs::enabled() {
+                mailbox_sizes.push(head.len() as u64);
+            }
             chunks.push((pid, head));
             consumed = end;
             rest = tail;
@@ -376,10 +399,11 @@ impl<'a> PropagationEngine<'a> {
         let combine_span = surfer_obs::span("prop.combine");
         let combine_sid = combine_span.id();
         // Work item i is again partition i (chunks are built in pid order).
-        let combined: Vec<(Vec<P::State>, u64)> =
+        let combined: Vec<(Vec<P::State>, u64, u64)> =
             try_par_map_vec(threads, chunks, |_, (pid, chunk)| {
                 let _s =
                     surfer_obs::span_under("prop.combine.part", combine_sid, || format!("p{pid}"));
+                let t0 = surfer_obs::enabled().then(std::time::Instant::now);
                 let meta = pg.meta(pid);
                 let base = offsets[enc.range(pid).0.index()];
                 let mut new_states = Vec::with_capacity(meta.members.len());
@@ -394,11 +418,13 @@ impl<'a> PropagationEngine<'a> {
                     combine_msgs += msgs.len() as u64;
                     new_states.push(prog.combine(v, &state_ro[v.index()], msgs, g));
                 }
-                (new_states, combine_msgs)
+                let ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                (new_states, combine_msgs, ns)
             })
             .map_err(|e| SurferError::from_worker_panic("combine", e))?;
-        for (pid, (new_states, combine_msgs)) in combined.into_iter().enumerate() {
+        for (pid, (new_states, combine_msgs, combine_ns)) in combined.into_iter().enumerate() {
             tally[pid].combine_msgs = combine_msgs;
+            tally[pid].combine_ns = combine_ns;
             for (&v, s) in pg.meta(pid as u32).members.iter().zip(new_states) {
                 state[v.index()] = s;
             }
@@ -410,6 +436,29 @@ impl<'a> PropagationEngine<'a> {
                 tally.iter().map(|t| t.combine_msgs).sum(),
             );
             surfer_obs::counter_add("prop.iterations", 1);
+
+            // Flight recorder: one sample per iteration. The P×P traffic
+            // matrix puts partition-local bytes on the diagonal and the
+            // post-combination cross bytes off it, so its diagonal/off-
+            // diagonal totals equal prop.local_bytes/prop.cross_bytes.
+            let p = tally.len();
+            let mut sample = surfer_obs::IterationSample::new(surfer_obs::StageKind::Propagation);
+            let mut traffic = surfer_obs::TrafficMatrix::new(p, p);
+            for (pid, t) in tally.iter().enumerate() {
+                traffic.add(pid, pid, t.local_bytes);
+                for (&q, &bytes) in &t.cross_out {
+                    traffic.add(pid, q as usize, bytes);
+                }
+                sample.local_msgs += t.local_msgs;
+                sample.cross_msgs += t.cross_msgs;
+                sample.local_bytes += t.local_bytes;
+                sample.cross_bytes += t.cross_out.values().sum::<u64>();
+            }
+            sample.transfer_ns = tally.iter().map(|t| t.transfer_ns).collect();
+            sample.combine_ns = tally.iter().map(|t| t.combine_ns).collect();
+            sample.mailbox = mailbox_sizes;
+            sample.traffic = traffic;
+            surfer_obs::record_sample(sample);
         }
 
         let report = self.simulate(
@@ -548,6 +597,7 @@ impl<'a> PropagationEngine<'a> {
         let transfers: Vec<VirtualOutbox<T::Msg>> =
             try_par_map_vec(threads, pids, |_, pid| {
                 let _s = surfer_obs::span_under("virt.transfer.part", vt_sid, || format!("p{pid}"));
+                let t0 = surfer_obs::enabled().then(std::time::Instant::now);
                 let mut msgs: Vec<(u64, T::Msg)> = Vec::new();
                 let mut bytes_row = vec![0u64; machines as usize];
                 let mut calls = 0u64;
@@ -574,23 +624,53 @@ impl<'a> PropagationEngine<'a> {
                     bytes_row[(vid % machines as u64) as usize] += task.msg_bytes(&msg);
                     msgs.push((vid, msg));
                 }
-                (msgs, bytes_row, calls)
+                let ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                (msgs, bytes_row, calls, ns)
             })
             .map_err(|e| SurferError::from_worker_panic("virtual-transfer", e))?;
         drop(vt_span);
         if surfer_obs::enabled() {
             surfer_obs::counter_add(
                 "virt.messages",
-                transfers.iter().map(|(m, _, _)| m.len() as u64).sum(),
+                transfers.iter().map(|(m, _, _, _)| m.len() as u64).sum(),
             );
             surfer_obs::counter_add(
                 "virt.transfer_calls",
-                transfers.iter().map(|(_, _, c)| *c).sum(),
+                transfers.iter().map(|(_, _, c, _)| *c).sum(),
             );
             surfer_obs::counter_add(
                 "virt.cross_bytes",
-                transfers.iter().flat_map(|(_, row, _)| row.iter()).sum(),
+                transfers.iter().flat_map(|(_, row, _, _)| row.iter()).sum(),
             );
+
+            // Flight recorder: virtual rounds route partition → machine
+            // (virtual vertices are hash-distributed), so the matrix is
+            // P×M; "local" means the destination machine already holds the
+            // source partition.
+            let mut sample = surfer_obs::IterationSample::new(surfer_obs::StageKind::Virtual);
+            let mut traffic =
+                surfer_obs::TrafficMatrix::new(transfers.len(), machines as usize);
+            for (pid, (msgs, row, _, ns)) in transfers.iter().enumerate() {
+                let home = pg.machine_of(pid as u32).0 as usize;
+                for (m, &bytes) in row.iter().enumerate() {
+                    traffic.add(pid, m, bytes);
+                    if m == home {
+                        sample.local_bytes += bytes;
+                    } else {
+                        sample.cross_bytes += bytes;
+                    }
+                }
+                for (vid, _) in msgs {
+                    if (*vid % machines as u64) as usize == home {
+                        sample.local_msgs += 1;
+                    } else {
+                        sample.cross_msgs += 1;
+                    }
+                }
+                sample.transfer_ns.push(*ns);
+            }
+            sample.traffic = traffic;
+            surfer_obs::record_sample(sample);
         }
 
         // Group per virtual vertex, folding outboxes in ascending pid order
@@ -599,7 +679,7 @@ impl<'a> PropagationEngine<'a> {
         // bytes_to[pid][machine]
         let mut bytes_to: Vec<Vec<u64>> = Vec::with_capacity(transfers.len());
         let mut transfer_calls: Vec<u64> = Vec::with_capacity(transfers.len());
-        for (msgs, bytes_row, calls) in transfers {
+        for (msgs, bytes_row, calls, _) in transfers {
             for (vid, msg) in msgs {
                 groups.entry(vid).or_default().push(msg);
             }

@@ -135,17 +135,23 @@ impl<'a> MapReduceEngine<'a> {
         let pids: Vec<u32> = pg.partitions().collect();
         let map_span = surfer_obs::span("mr.map");
         let map_sid = map_span.id();
-        let per_partition: Vec<Vec<(M::Key, M::Value)>> =
+        // Per-partition map output paired with its worker wall-time (ns).
+        type TimedPairs<K, V> = Vec<(Vec<(K, V)>, u64)>;
+        let per_partition: TimedPairs<M::Key, M::Value> =
             try_par_map_vec(self.threads, pids.clone(), |_, pid| {
                 let _s = surfer_obs::span_under("mr.map.part", map_sid, || format!("p{pid}"));
+                let t0 = surfer_obs::enabled().then(std::time::Instant::now);
                 let mut em = Emitter::new();
                 mapper.map(pg, pid, &mut em);
-                em.into_pairs()
+                (em.into_pairs(), t0.map_or(0, |t| t.elapsed().as_nanos() as u64))
             })
             .map_err(|e| MapReduceError::MapPanic {
                 partition: pids[e.index],
                 message: e.message,
             })?;
+        let map_ns: Vec<u64> = per_partition.iter().map(|(_, ns)| *ns).collect();
+        let per_partition: Vec<Vec<(M::Key, M::Value)>> =
+            per_partition.into_iter().map(|(p, _)| p).collect();
         drop(map_span);
         if surfer_obs::enabled() {
             surfer_obs::counter_add(
@@ -182,27 +188,65 @@ impl<'a> MapReduceEngine<'a> {
         // Work item i is reducer machine i.
         let reduce_span = surfer_obs::span("mr.reduce");
         let reduce_sid = reduce_span.id();
-        let reduced: Vec<(Vec<R::Out>, u64)> = try_par_map_vec(self.threads, groups, |m, g| {
+        let reduced: Vec<(Vec<R::Out>, u64, u64)> = try_par_map_vec(self.threads, groups, |m, g| {
             let _s = surfer_obs::span_under("mr.reduce.machine", reduce_sid, || format!("m{m}"));
+            let t0 = surfer_obs::enabled().then(std::time::Instant::now);
             let mut outs = Vec::new();
             let mut values = 0u64;
             for (k, vs) in &g {
                 values += vs.len() as u64;
                 reducer.reduce(k, vs, &mut outs);
             }
-            (outs, values)
+            let ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+            (outs, values, ns)
         })
         .map_err(|e| MapReduceError::ReducePanic { machine: e.index as u16, message: e.message })?;
         drop(reduce_span);
         let mut outputs = Vec::new();
         let mut reduce_cost: Vec<(u64, u64)> = Vec::new(); // (values, outputs) per machine
-        for (outs, values) in reduced {
+        let mut reduce_ns: Vec<u64> = Vec::with_capacity(reduced.len());
+        for (outs, values, ns) in reduced {
             reduce_cost.push((values, outs.len() as u64));
+            reduce_ns.push(ns);
             outputs.extend(outs);
         }
         if surfer_obs::enabled() {
             surfer_obs::counter_add("mr.reduce.values", reduce_cost.iter().map(|c| c.0).sum());
             surfer_obs::counter_add("mr.outputs", outputs.len() as u64);
+
+            // Flight recorder: one sample per MapReduce round. The shuffle
+            // routes partition → reducer machine, so the matrix is P×M;
+            // "local" means the reducer ran on the machine that mapped the
+            // partition (no network hop in the simulated shuffle).
+            let mut sample = surfer_obs::IterationSample::new(surfer_obs::StageKind::MapReduce);
+            let mut traffic =
+                surfer_obs::TrafficMatrix::new(bytes_to.len(), n_machines as usize);
+            for (pid, row) in bytes_to.iter().enumerate() {
+                let home = pg.machine_of(pid as u32).0 as usize;
+                for (m, &bytes) in row.iter().enumerate() {
+                    traffic.add(pid, m, bytes);
+                    if m == home {
+                        sample.local_bytes += bytes;
+                    } else {
+                        sample.cross_bytes += bytes;
+                    }
+                }
+            }
+            for (pid, pairs) in per_partition.iter().enumerate() {
+                let home = pg.machine_of(pid as u32).0 as usize;
+                for (k, _) in pairs {
+                    if hash_to_reducer(k, n_machines) as usize == home {
+                        sample.local_msgs += 1;
+                    } else {
+                        sample.cross_msgs += 1;
+                    }
+                }
+            }
+            sample.transfer_ns = map_ns;
+            sample.combine_ns = reduce_ns;
+            sample.mailbox = reduce_cost.iter().map(|c| c.0).collect();
+            sample.traffic = traffic;
+            surfer_obs::record_sample(sample);
         }
 
         // ---- Simulated execution. ----

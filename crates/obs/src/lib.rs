@@ -41,6 +41,14 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Instant;
 
+mod export;
+mod recorder;
+
+pub use export::{chrome_trace_json, prometheus_text};
+pub use recorder::{
+    detect_stragglers, IterationSample, StageKind, StragglerReport, TrafficMatrix,
+};
+
 /// Version stamp of the exported JSON documents; bump on any breaking
 /// change to the schema (`reproduce -- profile` fails on drift).
 pub const SCHEMA_VERSION: u32 = 1;
@@ -116,6 +124,10 @@ struct State {
     hists: BTreeMap<&'static str, Hist>,
     /// Occurrence counters for [`span_seq`].
     seq: BTreeMap<&'static str, u64>,
+    /// The flight recorder's per-iteration samples, in record order.
+    samples: Vec<IterationSample>,
+    /// Next `seq` per sample kind.
+    sample_seq: BTreeMap<&'static str, u32>,
 }
 
 struct Shared {
@@ -170,6 +182,7 @@ impl ObsSession {
             counters: state.counters,
             gauges: state.gauges,
             hists: state.hists,
+            iterations: state.samples,
         }
     }
 }
@@ -340,6 +353,25 @@ pub fn observe(name: &'static str, value: u64) {
     st.hists.entry(name).or_insert_with(Hist::new).record(value);
 }
 
+/// Feed one engine round to the flight recorder. The recorder assigns the
+/// sample's `seq` (occurrence index within its [`StageKind`]), so callers
+/// leave it 0. Call from the coordinating thread only — like [`span_seq`],
+/// the numbering is deterministic because the engines record one sample per
+/// round after joining their workers.
+pub fn record_sample(mut sample: IterationSample) {
+    if !enabled() {
+        return;
+    }
+    let mut st = lock_state();
+    if st.epoch.is_none() {
+        return;
+    }
+    let seq = st.sample_seq.entry(sample.kind.as_str()).or_insert(0);
+    sample.seq = *seq;
+    *seq += 1;
+    st.samples.push(sample);
+}
+
 /// Per-name aggregate of spans, for the per-stage breakdown.
 #[derive(Debug, Clone, PartialEq)]
 pub struct StageSummary {
@@ -365,6 +397,8 @@ pub struct TraceReport {
     pub gauges: BTreeMap<&'static str, u64>,
     /// Histograms.
     pub hists: BTreeMap<&'static str, Hist>,
+    /// Flight-recorder samples, one per engine round, in record order.
+    pub iterations: Vec<IterationSample>,
 }
 
 impl TraceReport {
@@ -396,6 +430,42 @@ impl TraceReport {
             .collect()
     }
 
+    /// Flight-recorder samples of one engine kind, in seq order.
+    pub fn samples_of(&self, kind: StageKind) -> impl Iterator<Item = &IterationSample> {
+        self.iterations.iter().filter(move |s| s.kind == kind)
+    }
+
+    /// The merged `P×P` propagation traffic matrix: every propagation
+    /// sample's matrix summed cell-wise (empty when no propagation ran).
+    /// Diagonal = partition-local bytes, off-diagonal = cross bytes, so
+    /// `diagonal_total()`/`off_diagonal_total()` equal the
+    /// `prop.local_bytes`/`prop.cross_bytes` counters.
+    pub fn traffic_matrix(&self) -> TrafficMatrix {
+        let mut acc = TrafficMatrix::empty();
+        for s in self.samples_of(StageKind::Propagation) {
+            acc.merge(&s.traffic);
+        }
+        acc
+    }
+
+    /// The machine-pair traffic matrix: [`TraceReport::traffic_matrix`]
+    /// folded through `placement` (partition id → machine id) into an
+    /// `machines × machines` matrix — the quantity the paper's
+    /// bandwidth-aware partitioning minimizes off-diagonal (§4).
+    pub fn machine_matrix(&self, placement: &[u16], machines: usize) -> TrafficMatrix {
+        let m = self.traffic_matrix();
+        if m.is_empty() {
+            return TrafficMatrix::empty();
+        }
+        m.fold(placement, placement, machines, machines)
+    }
+
+    /// Iterations whose slowest work item ran at least `skew_threshold`
+    /// times the median ([`detect_stragglers`] over every recorded sample).
+    pub fn stragglers(&self, skew_threshold: f64) -> Vec<StragglerReport> {
+        detect_stragglers(&self.iterations, skew_threshold)
+    }
+
     /// `"name[label]"` of a span's parent, or `""` for roots. Used as the
     /// timing-free parent key in the canonical export.
     pub fn parent_key(&self, s: &SpanRec) -> String {
@@ -424,6 +494,8 @@ impl TraceReport {
         }
         out.push_str("  ],\n");
         self.push_metrics_json(&mut out);
+        out.push_str(",\n");
+        self.push_iterations_json(&mut out, true);
         out.push_str(",\n  \"spans\": [\n");
         for (i, s) in self.spans.iter().enumerate() {
             out.push_str(&format!(
@@ -467,8 +539,50 @@ impl TraceReport {
         }
         out.push_str("  ],\n");
         self.push_metrics_json(&mut out);
+        out.push_str(",\n");
+        self.push_iterations_json(&mut out, false);
         out.push_str("\n}\n");
         out
+    }
+
+    /// The flight-recorder tail shared by both exports: the `iterations`
+    /// array (per-lane timing included only when `with_timing` — the
+    /// canonical export must stay thread-count-invariant) and the merged
+    /// propagation `traffic_matrix`.
+    fn push_iterations_json(&self, out: &mut String, with_timing: bool) {
+        out.push_str("  \"iterations\": [\n");
+        for (i, s) in self.iterations.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"kind\": \"{}\", \"seq\": {}, \"local_msgs\": {}, \"cross_msgs\": {}, \
+                 \"local_bytes\": {}, \"cross_bytes\": {}, \"mailbox\": {:?}",
+                s.kind.as_str(),
+                s.seq,
+                s.local_msgs,
+                s.cross_msgs,
+                s.local_bytes,
+                s.cross_bytes,
+                s.mailbox,
+            ));
+            if with_timing {
+                out.push_str(&format!(
+                    ", \"transfer_ns\": {:?}, \"combine_ns\": {:?}",
+                    s.transfer_ns, s.combine_ns
+                ));
+            }
+            out.push_str(&format!(
+                ", \"traffic\": {}}}{}\n",
+                s.traffic.to_json(),
+                comma(i, self.iterations.len()),
+            ));
+        }
+        out.push_str("  ],\n");
+        let m = self.traffic_matrix();
+        out.push_str(&format!(
+            "  \"traffic_matrix\": {{\"local_bytes\": {}, \"cross_bytes\": {}, \"matrix\": {}}}",
+            m.diagonal_total(),
+            m.off_diagonal_total(),
+            m.to_json(),
+        ));
     }
 
     /// The shared counters/gauges/histograms tail of both exports.

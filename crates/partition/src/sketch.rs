@@ -8,7 +8,9 @@
 //! records the sketch produced by recursive bisection and exposes the
 //! quantities those properties talk about.
 
+use crate::assignment::Partitioning;
 use serde::{Deserialize, Serialize};
+use surfer_graph::CsrGraph;
 
 /// Index of a node in a [`PartitionSketch`].
 pub type SketchNodeId = usize;
@@ -122,6 +124,76 @@ impl PartitionSketch {
         }
         self.nodes[x].level
     }
+
+    /// Map every partition id to its ancestor group at level `l`: leaves
+    /// deeper than `l` walk up to their level-`l` ancestor, shallower
+    /// leaves stay themselves. Group ids are densified in first-seen pid
+    /// order. Returns `(group of each pid, group count)`.
+    pub fn level_groups(&self, l: u32) -> (Vec<u32>, u32) {
+        let leaves = self.leaves();
+        let mut dense: std::collections::BTreeMap<SketchNodeId, u32> =
+            std::collections::BTreeMap::new();
+        let mut groups = Vec::with_capacity(leaves.len());
+        for &leaf in &leaves {
+            let mut n = leaf;
+            while self.nodes[n].level > l {
+                n = self.nodes[n].parent.expect("deeper node has parent");
+            }
+            let next = dense.len() as u32;
+            groups.push(*dense.entry(n).or_insert(next));
+        }
+        (groups, dense.len() as u32)
+    }
+}
+
+/// Observable quality of a recorded sketch against the graph it
+/// partitioned — the §4.1 properties as numbers instead of proofs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SketchQuality {
+    /// `cross_edges / |E|` of the leaf partitioning (0 is perfect; the
+    /// complement of the paper's inner edge ratio).
+    pub edge_cut_ratio: f64,
+    /// `max partition vertex count / mean` — 1.0 is perfectly balanced.
+    pub balance: f64,
+    /// `level_locality[l]` = fraction of edges *internal* to the level-`l`
+    /// groups of the sketch. Level 0 is always 1.0 (one group: the whole
+    /// graph); the last level equals `1 - edge_cut_ratio`. Echoes the
+    /// per-level locality that proximity (§4.1) exploits: the deeper two
+    /// partitions' common ancestor, the more edges they share.
+    pub level_locality: Vec<f64>,
+    /// Whether the sketch's `T_l` sequence is monotone (§4.1).
+    pub monotone: bool,
+}
+
+/// Measure `sketch` against the graph/partitioning it produced. The sketch
+/// may be empty (structure-oblivious partitioners record none): locality is
+/// then reported for the trivial 1-level view only.
+pub fn sketch_quality(g: &CsrGraph, p: &Partitioning, sketch: &PartitionSketch) -> SketchQuality {
+    let q = crate::assignment::quality(g, p);
+    let total = g.num_edges();
+    let levels = sketch.num_levels().max(1);
+    let mut level_locality = Vec::with_capacity(levels as usize);
+    for l in 0..levels {
+        let (groups, _) = sketch.level_groups(l);
+        if groups.len() != p.num_partitions() as usize {
+            // Empty or partial sketch: every pid falls in one group.
+            level_locality.push(1.0);
+            continue;
+        }
+        let inner = g
+            .edges()
+            .filter(|e| {
+                groups[p.pid_of(e.src) as usize] == groups[p.pid_of(e.dst) as usize]
+            })
+            .count() as u64;
+        level_locality.push(if total == 0 { 1.0 } else { inner as f64 / total as f64 });
+    }
+    SketchQuality {
+        edge_cut_ratio: 1.0 - q.inner_edge_ratio,
+        balance: q.balance,
+        level_locality,
+        monotone: sketch.is_monotone(),
+    }
 }
 
 #[cfg(test)]
@@ -209,6 +281,41 @@ mod tests {
         assert_eq!(s.common_ancestor_level(leaves[0], leaves[1]), 1);
         assert_eq!(s.common_ancestor_level(leaves[0], leaves[2]), 0);
         assert_eq!(s.common_ancestor_level(leaves[2], leaves[2]), 2);
+    }
+
+    #[test]
+    fn level_groups_collapse_to_ancestors() {
+        let s = fig2();
+        let (g0, n0) = s.level_groups(0);
+        assert_eq!((g0, n0), (vec![0, 0, 0, 0], 1));
+        let (g1, n1) = s.level_groups(1);
+        assert_eq!((g1, n1), (vec![0, 0, 1, 1], 2));
+        let (g2, n2) = s.level_groups(2);
+        assert_eq!((g2, n2), (vec![0, 1, 2, 3], 4));
+    }
+
+    #[test]
+    fn sketch_quality_reports_per_level_locality() {
+        use surfer_graph::builder::from_edges;
+        // 8 vertices, 2 per partition; sibling partitions (0,1) and (2,3)
+        // share an edge each, cousins share one edge across the root cut.
+        let g = from_edges(
+            8,
+            [(0, 1), (2, 3), (4, 5), (6, 7), (1, 2), (5, 6), (3, 4)],
+        );
+        let p = Partitioning::new(vec![0, 0, 1, 1, 2, 2, 3, 3], 4);
+        let q = sketch_quality(&g, &p, &fig2());
+        assert!((q.edge_cut_ratio - 3.0 / 7.0).abs() < 1e-12);
+        assert!((q.balance - 1.0).abs() < 1e-12);
+        assert_eq!(q.level_locality.len(), 3);
+        assert!((q.level_locality[0] - 1.0).abs() < 1e-12);
+        assert!((q.level_locality[1] - 6.0 / 7.0).abs() < 1e-12);
+        assert!((q.level_locality[2] - 4.0 / 7.0).abs() < 1e-12);
+        assert!(q.monotone);
+        // An empty sketch still yields leaf-level quality numbers.
+        let q0 = sketch_quality(&g, &p, &PartitionSketch::new());
+        assert_eq!(q0.level_locality, vec![1.0]);
+        assert!((q0.edge_cut_ratio - 3.0 / 7.0).abs() < 1e-12);
     }
 
     #[test]

@@ -12,11 +12,17 @@
 //!   parent's interval and every parent id resolves;
 //! * golden-trace determinism: the canonical (timing-stripped) JSON export
 //!   is byte-identical run-to-run at a fixed seed, and across worker
-//!   thread counts.
+//!   thread counts;
+//! * flight-recorder traffic matrices: row/column sums equal the `prop.*`
+//!   byte counters, the `P×P` matrix is bit-identical across worker thread
+//!   counts {1, 2, max}, and the machine-pair matrix is invariant under a
+//!   no-op replanner (all-alive failover through the partition store).
 
 use proptest::prelude::*;
 use surfer::apps::pagerank::{NetworkRanking, PageRankPropagation};
-use surfer::cluster::{ClusterConfig, FaultPlan};
+use surfer::cluster::{
+    resolve_threads, ClusterConfig, FaultPlan, MachineId, PartitionStore, Topology,
+};
 use surfer::core::{
     run_with_recovery, EngineOptions, OptimizationLevel, PropagationEngine, RecoveryConfig, Surfer,
 };
@@ -62,10 +68,84 @@ proptest! {
             prop_assert_eq!(trace.counter("exec.tasks"), run.report.tasks_completed);
             prop_assert_eq!(trace.counter("exec.transfers"), run.report.transfers_completed);
             prop_assert_eq!(trace.counter("exec.net_bytes"), run.report.network_bytes);
+            prop_assert_eq!(trace.counter("exec.cross_pod_bytes"), run.report.cross_pod_bytes);
             prop_assert_eq!(trace.counter("exec.disk_read_bytes"), run.report.disk_read_bytes);
             prop_assert_eq!(trace.counter("exec.disk_write_bytes"), run.report.disk_write_bytes);
         }
     }
+
+    /// The flight recorder's merged `P×P` traffic matrix accounts the same
+    /// bytes as the `prop.*` counters: diagonal = local, off-diagonal =
+    /// cross, row/column sums = everything.
+    #[test]
+    fn traffic_matrix_sums_match_prop_counters(
+        seed in 0u64..1_000_000,
+        partitions_log2 in 1u32..4,
+        threads in 1usize..4,
+    ) {
+        let partitions = 1u32 << partitions_log2;
+        let (trace, _) = propagation_trace(seed, partitions, threads);
+        let m = trace.traffic_matrix();
+        prop_assert_eq!(m.rows(), partitions as usize);
+        prop_assert_eq!(m.cols(), partitions as usize);
+        prop_assert_eq!(m.diagonal_total(), trace.counter("prop.local_bytes"));
+        prop_assert_eq!(m.off_diagonal_total(), trace.counter("prop.cross_bytes"));
+        let row_total: u64 = (0..m.rows()).map(|r| m.row_sum(r)).sum();
+        let col_total: u64 = (0..m.cols()).map(|c| m.col_sum(c)).sum();
+        let bytes = trace.counter("prop.local_bytes") + trace.counter("prop.cross_bytes");
+        prop_assert_eq!(row_total, bytes);
+        prop_assert_eq!(col_total, bytes);
+    }
+}
+
+/// Machines of the traffic-matrix fixtures (a 2-pod tree).
+const MATRIX_MACHINES: u16 = 4;
+
+/// Run PageRank propagation at `threads` workers and return the trace plus
+/// the placement (pid -> machine) it executed under.
+fn propagation_trace(seed: u64, partitions: u32, threads: usize) -> (surfer::obs::TraceReport, Vec<u16>) {
+    let g = msn_like(MsnScale::Tiny, seed);
+    let surfer = build(&g, ClusterConfig::tree(2, 1, MATRIX_MACHINES), partitions, threads);
+    let placement: Vec<u16> = surfer.partitioned().placement().iter().map(|m| m.0).collect();
+    let session = ObsSession::begin();
+    surfer.run(&NetworkRanking::new(3)).unwrap();
+    (session.finish(), placement)
+}
+
+#[test]
+fn traffic_matrices_are_thread_invariant_and_replanner_stable() {
+    const PARTITIONS: u32 = 8;
+    let runs: Vec<_> =
+        [1, 2, resolve_threads(0)].iter().map(|&t| propagation_trace(0xBEEF, PARTITIONS, t)).collect();
+    let (base, placement) = &runs[0];
+    let m0 = base.traffic_matrix();
+    assert!(!m0.is_empty(), "propagation must record traffic");
+    for (trace, _) in &runs[1..] {
+        assert_eq!(
+            trace.traffic_matrix(),
+            m0,
+            "the P×P matrix must be bit-identical across worker thread counts"
+        );
+    }
+
+    // The machine-pair fold is invariant under a no-op replanner: rebuild
+    // the placement through the partition store's failover path with every
+    // machine alive — it must hand every partition back to its primary.
+    let mm = base.machine_matrix(placement, MATRIX_MACHINES as usize);
+    assert_eq!(mm.total(), m0.total(), "folding must preserve total traffic");
+    let topo = Topology::t1(MATRIX_MACHINES);
+    let assignment: Vec<MachineId> = placement.iter().map(|&m| MachineId(m)).collect();
+    let store = PartitionStore::from_assignment(&topo, &assignment);
+    let alive: Vec<MachineId> = (0..MATRIX_MACHINES).map(MachineId).collect();
+    let replanned: Vec<u16> = (0..PARTITIONS)
+        .map(|pid| store.failover(pid, &alive).expect("machines alive").0)
+        .collect();
+    assert_eq!(&replanned, placement, "all-alive failover is the identity replanner");
+    assert_eq!(
+        base.machine_matrix(&replanned, MATRIX_MACHINES as usize),
+        mm,
+        "machine-pair matrix must be invariant under a no-op replanner"
+    );
 }
 
 #[test]
