@@ -22,7 +22,9 @@
 //! Event JSON (`TRACE_perfetto.json`, loadable at ui.perfetto.dev).
 //! `baseline` snapshots the deterministic flight-recorder metrics into
 //! `OBS_baseline.json`; `gate` re-runs the job and fails on any metric
-//! drifting beyond tolerance — the CI metrics regression gate.
+//! drifting beyond tolerance — the CI metrics regression gate. `lint` runs
+//! the `surfer-lint` static-analysis gate against `LINT_baseline.json`
+//! (writing `LINT_report.json`); `lint-baseline` refreshes the baseline.
 
 use surfer_bench::experiments::*;
 use surfer_bench::{ExpConfig, Workload};
@@ -207,8 +209,42 @@ fn main() {
                 );
             }
         }
+        "lint" => {
+            let baseline = std::fs::read_to_string("LINT_baseline.json").ok();
+            let r = lint::run(baseline.as_deref()).unwrap_or_else(|e| die(&e));
+            print!("{}", r.table);
+            std::fs::write("LINT_report.json", &r.json)
+                .unwrap_or_else(|e| die(&format!("writing LINT_report.json: {e}")));
+            eprintln!("# wrote LINT_report.json ({} files scanned)", r.outcome.files_scanned);
+            for w in &r.warnings {
+                eprintln!("# warning: {w}");
+            }
+            if r.failures.is_empty() {
+                eprintln!("# lint gate: PASS (no unwaived diagnostics)");
+            } else {
+                eprintln!("error: lint gate FAILED — {} problem(s):", r.failures.len());
+                for f in &r.failures {
+                    eprintln!("  - {f}");
+                }
+                die(
+                    "waive justified sites inline with `// lint:allow(RULE, reason)`, \
+                     or grandfather them via `reproduce -- lint-baseline` and edit the \
+                     UNREVIEWED reasons in LINT_baseline.json before committing",
+                );
+            }
+        }
+        "lint-baseline" => {
+            let old = std::fs::read_to_string("LINT_baseline.json").ok();
+            let doc = lint::refreshed_baseline(old.as_deref()).unwrap_or_else(|e| die(&e));
+            std::fs::write("LINT_baseline.json", &doc)
+                .unwrap_or_else(|e| die(&format!("writing LINT_baseline.json: {e}")));
+            eprintln!(
+                "# wrote LINT_baseline.json — replace any UNREVIEWED reasons with real \
+                 justifications, then commit"
+            );
+        }
         other => die(&format!(
-            "unknown experiment '{other}' (all|table1..table5|fig6|fig7|fig9|fig10|fig11|fig12|cascade|ablation|bench|chaos|profile|perfetto|baseline|gate)"
+            "unknown experiment '{other}' (all|table1..table5|fig6|fig7|fig9|fig10|fig11|fig12|cascade|ablation|bench|chaos|profile|perfetto|baseline|gate|lint|lint-baseline)"
         )),
     };
 

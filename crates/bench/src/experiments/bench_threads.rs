@@ -8,6 +8,7 @@
 //! (`BENCH_propagation.json`) so runs can be diffed across machines.
 
 use crate::Workload;
+// lint:allow(D2, the bench harness measures real host wall-clock by design)
 use std::time::Instant;
 use surfer_apps::pagerank::PageRankPropagation;
 use surfer_cluster::par::resolve_threads;
@@ -60,6 +61,7 @@ pub fn run(w: &Workload, iterations: u32) -> (Vec<ThreadResult>, String) {
         );
         let mut state = engine.init_state(&prog);
         let mut messages = 0u64;
+        // lint:allow(D2, host wall-clock is the measurement itself here)
         let start = Instant::now();
         for _ in 0..iterations {
             let (_, m) = engine.run_iteration_counted(&prog, &mut state).unwrap();

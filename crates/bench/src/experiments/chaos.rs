@@ -17,6 +17,7 @@
 //! result into `BENCH_propagation.json` next to the thread-sweep numbers.
 
 use crate::Workload;
+// lint:allow(D2, the bench harness measures real host wall-clock by design)
 use std::time::Instant;
 use surfer_apps::pagerank::PageRankPropagation;
 use surfer_cluster::{FaultPlan, MachineCrash, UdfPanicAt};
@@ -96,6 +97,7 @@ pub fn run(w: &Workload) -> (ChaosResult, String) {
         corruptions: vec![],
     };
     let mut chaos_state = engine.init_state(&prog);
+    // lint:allow(D2, host wall-clock is the measurement itself here)
     let start = Instant::now();
     let chaos = run_with_recovery(
         cluster,

@@ -1,0 +1,94 @@
+//! The `reproduce -- lint` / `lint-baseline` subcommands: run `surfer-lint`
+//! over the workspace, gate against `LINT_baseline.json`, and write the
+//! machine-readable `LINT_report.json` (CI uploads it as an artifact).
+
+use std::path::PathBuf;
+use surfer_lint::baseline::Baseline;
+use surfer_lint::{lint_workspace, refresh_baseline, report, Outcome};
+
+/// Locate the workspace root: the compile-time manifest dir's grandparent,
+/// falling back to the current directory (e.g. when the binary moved).
+pub fn workspace_root() -> PathBuf {
+    let baked = PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../..");
+    if baked.join("Cargo.toml").is_file() {
+        return baked;
+    }
+    PathBuf::from(".")
+}
+
+/// What a gate run produced, for the caller to render and exit on.
+pub struct GateResult {
+    pub outcome: Outcome,
+    /// Human table + summary.
+    pub table: String,
+    /// JSON report document (write to `LINT_report.json`).
+    pub json: String,
+    /// Hard failures: unwaived deny findings and unreviewed baseline reasons.
+    pub failures: Vec<String>,
+    /// Soft notes (stale baseline entries).
+    pub warnings: Vec<String>,
+}
+
+/// Run the lint gate. `baseline_text` is the committed `LINT_baseline.json`
+/// content, if present.
+pub fn run(baseline_text: Option<&str>) -> Result<GateResult, String> {
+    let baseline = match baseline_text {
+        Some(t) => Some(Baseline::parse(t)?),
+        None => None,
+    };
+    let outcome = lint_workspace(&workspace_root(), baseline.as_ref())?;
+    let mut failures = Vec::new();
+    for d in outcome.fatal() {
+        failures.push(format!("{} {}:{} {}", d.rule, d.file, d.line, d.message));
+    }
+    if let Some(b) = &baseline {
+        for e in b.unreviewed() {
+            failures.push(format!(
+                "baseline entry {} {} ({:?}) is UNREVIEWED — write a real reason",
+                e.rule, e.file, e.snippet
+            ));
+        }
+    }
+    let warnings = outcome
+        .stale_baseline
+        .iter()
+        .map(|(r, f, s, n)| {
+            format!("stale baseline entry {r} {f} ({s:?}) x{n} — refresh to drop")
+        })
+        .collect();
+    let table = report::render_table(&outcome.diagnostics, false);
+    let json = report::render_json(&outcome.diagnostics);
+    Ok(GateResult { outcome, table, json, failures, warnings })
+}
+
+/// Refresh `LINT_baseline.json`: lint without a baseline, keep reasons for
+/// surviving entries, stamp new ones UNREVIEWED. Returns the document text.
+pub fn refreshed_baseline(old_text: Option<&str>) -> Result<String, String> {
+    let old = match old_text {
+        Some(t) => Some(Baseline::parse(t)?),
+        None => None,
+    };
+    let outcome = lint_workspace(&workspace_root(), None)?;
+    Ok(refresh_baseline(&outcome, old.as_ref()).render())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workspace_root_is_a_cargo_workspace() {
+        let root = workspace_root();
+        assert!(root.join("Cargo.toml").is_file());
+        assert!(root.join("crates/lint/src/lib.rs").is_file());
+    }
+
+    #[test]
+    fn gate_runs_against_committed_baseline() {
+        let root = workspace_root();
+        let text = std::fs::read_to_string(root.join("LINT_baseline.json")).ok();
+        let r = run(text.as_deref()).expect("lint run");
+        assert!(r.outcome.files_scanned > 0);
+        assert!(r.json.contains("\"schema\": 1"));
+    }
+}

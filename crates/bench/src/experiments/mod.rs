@@ -16,6 +16,7 @@ pub mod fig6;
 pub mod fig7;
 pub mod fig9;
 pub mod gate;
+pub mod lint;
 pub mod perfetto;
 pub mod profile;
 pub mod table1;

@@ -317,6 +317,7 @@ impl<'c> Executor<'c> {
     /// Run to completion without faults.
     pub fn run(self) -> ExecReport {
         self.run_with_faults(&[], &mut RoundRobinReplanner::default())
+            // lint:allow(E1, invariant: ClusterLost requires injected faults and none are passed)
             .expect("a fault-free run cannot lose the cluster")
     }
 

@@ -84,6 +84,7 @@ where
 {
     match try_par_map_vec(threads, items, f) {
         Ok(out) => out,
+        // lint:allow(E1, the infallible variant re-raises worker panics by contract)
         Err(e) => panic!("{e}"),
     }
 }
@@ -147,6 +148,7 @@ where
         for h in handles {
             // Workers never unwind (panics are caught per item); a join
             // failure would be a harness bug, not a user one.
+            // lint:allow(E1, harness invariant: workers catch per-item panics and never unwind)
             for (i, out) in h.join().expect("worker harness panicked") {
                 match out {
                     Ok(v) => {
@@ -168,6 +170,7 @@ where
     if let Some(e) = failure {
         return Err(e);
     }
+    // lint:allow(E1, invariant: the loop above fills every slot or returned Err already)
     Ok(slots.into_iter().map(|slot| slot.expect("every item produces an output")).collect())
 }
 

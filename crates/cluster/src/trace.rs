@@ -108,6 +108,7 @@ pub fn render_span_gantt(report: &surfer_obs::TraceReport, width: usize) -> Stri
     let mut order: Vec<&surfer_obs::SpanRec> = report.spans.iter().collect();
     order.sort_by(|a, b| a.start_ns.cmp(&b.start_ns).then(b.end_ns.cmp(&a.end_ns)));
     for s in &order {
+        // lint:allow(E1, every span thread was inserted into `threads` above)
         let row = threads.binary_search(&s.thread.as_str()).expect("thread listed");
         paint_interval(
             &mut rows[row],

@@ -53,7 +53,7 @@ macro_rules! checkpointable_scalar {
                 const N: usize = std::mem::size_of::<$t>();
                 let (head, tail) = buf.split_at_checked(N)?;
                 *buf = tail;
-                Some(<$t>::from_le_bytes(head.try_into().unwrap()))
+                Some(<$t>::from_le_bytes(head.try_into().ok()?))
             }
         }
     )*};
@@ -233,7 +233,8 @@ impl<P: Propagation> Propagation for ChaosProgram<'_, P> {
     ) -> Option<Self::Msg> {
         let it = self.iteration.load(Ordering::Relaxed);
         let fire = {
-            let mut panics = self.panics.lock().unwrap();
+            let mut panics =
+                self.panics.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
             match panics.iter_mut().find(|p| p.0 == it && p.1 == from.0 && !p.2) {
                 Some(p) => {
                     p.2 = true; // consumed: the retry must succeed
@@ -243,6 +244,7 @@ impl<P: Propagation> Propagation for ChaosProgram<'_, P> {
             }
         };
         if fire {
+            // lint:allow(E1, chaos harness injects panics by design; the engine isolates them)
             panic!("chaos: injected transfer panic at iteration {it}, vertex {}", from.0);
         }
         self.inner.transfer(from, state, to, g)
@@ -463,7 +465,7 @@ fn write_checkpoint<S: Checkpointable>(
     let mut specs: Vec<CkptSpec> = Vec::new();
     let mut sample = surfer_obs::IterationSample::new(surfer_obs::StageKind::Checkpoint);
     for pid in cur.partitions() {
-        let t0 = surfer_obs::enabled().then(std::time::Instant::now);
+        let t0 = surfer_obs::stopwatch();
         let mut payload = Vec::new();
         for &v in &cur.meta(pid).members {
             state[v.index()].write_to(&mut payload);
@@ -491,8 +493,8 @@ fn write_checkpoint<S: Checkpointable>(
             }
             sinks.push((m, len));
         }
-        if let Some(t0) = t0 {
-            sample.transfer_ns.push(t0.elapsed().as_nanos() as u64);
+        if t0.is_recording() {
+            sample.transfer_ns.push(t0.elapsed_ns());
         }
         specs.push((home, len, sinks));
     }
@@ -542,7 +544,7 @@ fn restore_checkpoint<S: Checkpointable>(
     let mut sources: Vec<(MachineId, u64)> = Vec::new();
     let mut sample = surfer_obs::IterationSample::new(surfer_obs::StageKind::Restore);
     for pid in cur.partitions() {
-        let t0 = surfer_obs::enabled().then(std::time::Instant::now);
+        let t0 = surfer_obs::stopwatch();
         let mut found: Option<(MachineId, u64, Vec<u8>)> = None;
         for &m in &store.replicas(pid).machines {
             if !alive[m.0 as usize] {
@@ -582,8 +584,8 @@ fn restore_checkpoint<S: Checkpointable>(
         } else {
             sample.cross_bytes += len;
         }
-        if let Some(t0) = t0 {
-            sample.transfer_ns.push(t0.elapsed().as_nanos() as u64);
+        if t0.is_recording() {
+            sample.transfer_ns.push(t0.elapsed_ns());
         }
         sources.push((m, len));
     }

@@ -266,7 +266,7 @@ impl<'a> PropagationEngine<'a> {
         // failing partition directly.
         let outboxes: Vec<Outbox<P::Msg>> = try_par_map_vec(threads, pids, |_, pid| {
             let _s = surfer_obs::span_under("prop.transfer.part", transfer_sid, || format!("p{pid}"));
-            let t0 = surfer_obs::enabled().then(std::time::Instant::now);
+            let t0 = surfer_obs::stopwatch();
             let meta = pg.meta(pid);
             if surfer_obs::enabled() {
                 // Counter increments are commutative, so these per-partition
@@ -320,8 +320,8 @@ impl<'a> PropagationEngine<'a> {
                 t.cross_msgs += 1;
                 msgs.push((to, msg));
             }
-            if let Some(t0) = t0 {
-                t.transfer_ns = t0.elapsed().as_nanos() as u64;
+            if t0.is_recording() {
+                t.transfer_ns = t0.elapsed_ns();
             }
             Outbox { msgs, tally: t, emitted }
         })
@@ -403,7 +403,7 @@ impl<'a> PropagationEngine<'a> {
             try_par_map_vec(threads, chunks, |_, (pid, chunk)| {
                 let _s =
                     surfer_obs::span_under("prop.combine.part", combine_sid, || format!("p{pid}"));
-                let t0 = surfer_obs::enabled().then(std::time::Instant::now);
+                let t0 = surfer_obs::stopwatch();
                 let meta = pg.meta(pid);
                 let base = offsets[enc.range(pid).0.index()];
                 let mut new_states = Vec::with_capacity(meta.members.len());
@@ -413,12 +413,13 @@ impl<'a> PropagationEngine<'a> {
                     let (lo, hi) = (offsets[slot] - base, offsets[slot + 1] - base);
                     let mut msgs = Vec::with_capacity(hi - lo);
                     for m in &mut chunk[lo..hi] {
+                        // lint:allow(E1, invariant: routing fills each mailbox slot exactly once)
                         msgs.push(m.take().expect("mailbox message consumed exactly once"));
                     }
                     combine_msgs += msgs.len() as u64;
                     new_states.push(prog.combine(v, &state_ro[v.index()], msgs, g));
                 }
-                let ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                let ns = t0.elapsed_ns();
                 (new_states, combine_msgs, ns)
             })
             .map_err(|e| SurferError::from_worker_panic("combine", e))?;
@@ -597,7 +598,7 @@ impl<'a> PropagationEngine<'a> {
         let transfers: Vec<VirtualOutbox<T::Msg>> =
             try_par_map_vec(threads, pids, |_, pid| {
                 let _s = surfer_obs::span_under("virt.transfer.part", vt_sid, || format!("p{pid}"));
-                let t0 = surfer_obs::enabled().then(std::time::Instant::now);
+                let t0 = surfer_obs::stopwatch();
                 let mut msgs: Vec<(u64, T::Msg)> = Vec::new();
                 let mut bytes_row = vec![0u64; machines as usize];
                 let mut calls = 0u64;
@@ -624,7 +625,7 @@ impl<'a> PropagationEngine<'a> {
                     bytes_row[(vid % machines as u64) as usize] += task.msg_bytes(&msg);
                     msgs.push((vid, msg));
                 }
-                let ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+                let ns = t0.elapsed_ns();
                 (msgs, bytes_row, calls, ns)
             })
             .map_err(|e| SurferError::from_worker_panic("virtual-transfer", e))?;

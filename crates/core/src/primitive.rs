@@ -59,6 +59,7 @@ pub trait Propagation: Sync {
     /// `combine(v, s, [merge(a,b), rest...]) == combine(v, s, [a, b, rest...])`.
     /// Only called when [`Propagation::associative`] is true.
     fn merge(&self, _a: Self::Msg, _b: Self::Msg) -> Self::Msg {
+        // lint:allow(E1, documented contract: only called when associative() is true)
         panic!("merge() called on a non-associative propagation program")
     }
 
@@ -106,6 +107,7 @@ pub trait VirtualVertexTask: Sync {
 
     /// Merge two messages for the same virtual vertex.
     fn merge(&self, _a: Self::Msg, _b: Self::Msg) -> Self::Msg {
+        // lint:allow(E1, documented contract: only called when associative() is true)
         panic!("merge() called on a non-associative virtual-vertex task")
     }
 

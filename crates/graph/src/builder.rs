@@ -112,6 +112,7 @@ impl GraphBuilder {
     /// Build, panicking on invalid input. Convenient for generators and tests
     /// whose edges are range-checked by construction.
     pub fn build(self) -> CsrGraph {
+        // lint:allow(E1, documented panicking variant; try_build is the fallible twin)
         self.try_build().expect("graph builder produced invalid graph")
     }
 }

@@ -32,10 +32,10 @@ impl CsrGraph {
         if offsets.is_empty() || offsets[0] != 0 {
             return Err(crate::GraphError::Corrupt("offsets must start with 0".into()));
         }
-        if *offsets.last().expect("non-empty") != targets.len() as u64 {
+        let last = *offsets.last().unwrap_or(&0); // non-empty: checked above
+        if last != targets.len() as u64 {
             return Err(crate::GraphError::Corrupt(format!(
-                "last offset {} != number of targets {}",
-                offsets.last().expect("non-empty"),
+                "last offset {last} != number of targets {}",
                 targets.len()
             )));
         }

@@ -1,0 +1,394 @@
+//! The `LINT_baseline.json` snapshot/gate pair, mirroring the
+//! `OBS_baseline.json` workflow: grandfathered findings live in a committed
+//! file, every entry carries a human-written reason, and the gate fails on
+//! anything the baseline does not cover.
+//!
+//! Entries key on `(rule, file, snippet)` — the trimmed offending source
+//! line — rather than line numbers, so unrelated edits above a grandfathered
+//! site do not invalidate the baseline. A `count` absorbs identical lines
+//! appearing multiple times in one file.
+//!
+//! Refreshing (`reproduce -- lint-baseline`) preserves reasons for surviving
+//! entries and stamps new ones `UNREVIEWED: …`; the gate rejects unreviewed
+//! reasons, so a refresh is never silently self-approving.
+
+use crate::report::escape;
+use std::collections::BTreeMap;
+
+/// One grandfathered finding.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Entry {
+    pub rule: String,
+    pub file: String,
+    pub snippet: String,
+    pub count: u64,
+    pub reason: String,
+}
+
+/// The parsed baseline.
+#[derive(Debug, Clone, Default)]
+pub struct Baseline {
+    pub entries: Vec<Entry>,
+}
+
+/// Marker prefix the refresh stamps on entries nobody has justified yet.
+pub const UNREVIEWED: &str = "UNREVIEWED";
+
+impl Baseline {
+    /// Parse `LINT_baseline.json` text. Errors are human-readable strings.
+    pub fn parse(text: &str) -> Result<Baseline, String> {
+        let v = json::parse(text)?;
+        let obj = v.as_obj().ok_or("baseline root must be an object")?;
+        let entries = obj
+            .iter()
+            .find(|(k, _)| k == "entries")
+            .and_then(|(_, v)| v.as_arr())
+            .ok_or("baseline must have an \"entries\" array")?;
+        let mut out = Vec::new();
+        for (i, e) in entries.iter().enumerate() {
+            let eo = e.as_obj().ok_or_else(|| format!("entry {i} is not an object"))?;
+            let get_str = |key: &str| -> Result<String, String> {
+                eo.iter()
+                    .find(|(k, _)| k == key)
+                    .and_then(|(_, v)| v.as_str())
+                    .map(str::to_string)
+                    .ok_or_else(|| format!("entry {i} missing string field {key:?}"))
+            };
+            let count = eo
+                .iter()
+                .find(|(k, _)| k == "count")
+                .and_then(|(_, v)| v.as_num())
+                .unwrap_or(1.0) as u64;
+            let entry = Entry {
+                rule: get_str("rule")?,
+                file: get_str("file")?,
+                snippet: get_str("snippet")?,
+                count: count.max(1),
+                reason: get_str("reason")?,
+            };
+            if entry.reason.trim().is_empty() {
+                return Err(format!(
+                    "baseline entry {} ({}:{}) has an empty reason — every \
+                     grandfathered site must be justified",
+                    i, entry.file, entry.snippet
+                ));
+            }
+            out.push(entry);
+        }
+        Ok(Baseline { entries: out })
+    }
+
+    /// Entries whose reason was never reviewed (refresh placeholders).
+    pub fn unreviewed(&self) -> Vec<&Entry> {
+        self.entries.iter().filter(|e| e.reason.starts_with(UNREVIEWED)).collect()
+    }
+
+    /// Render as committed JSON (sorted, stable).
+    pub fn render(&self) -> String {
+        let mut entries = self.entries.clone();
+        entries.sort_by(|a, b| {
+            (&a.file, &a.rule, &a.snippet).cmp(&(&b.file, &b.rule, &b.snippet))
+        });
+        let mut out = String::from("{\n  \"schema\": 1,\n  \"entries\": [");
+        for (i, e) in entries.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str("\n    {\n");
+            out.push_str(&format!("      \"rule\": {},\n", escape(&e.rule)));
+            out.push_str(&format!("      \"file\": {},\n", escape(&e.file)));
+            out.push_str(&format!("      \"snippet\": {},\n", escape(&e.snippet)));
+            out.push_str(&format!("      \"count\": {},\n", e.count));
+            out.push_str(&format!("      \"reason\": {}\n", escape(&e.reason)));
+            out.push_str("    }");
+        }
+        out.push_str("\n  ]\n}\n");
+        out
+    }
+}
+
+/// A consumable view of a baseline for one gate run: `claim` decrements
+/// counts; whatever remains afterwards is stale.
+pub struct Matcher {
+    remaining: BTreeMap<(String, String, String), (u64, String)>,
+}
+
+impl Matcher {
+    pub fn new(b: &Baseline) -> Matcher {
+        let mut remaining = BTreeMap::new();
+        for e in &b.entries {
+            let slot = remaining
+                .entry((e.rule.clone(), e.file.clone(), e.snippet.clone()))
+                .or_insert((0, e.reason.clone()));
+            slot.0 += e.count;
+        }
+        Matcher { remaining }
+    }
+
+    /// Try to cover a finding; returns the entry's reason when it matches.
+    pub fn claim(&mut self, rule: &str, file: &str, snippet: &str) -> Option<String> {
+        let key = (rule.to_string(), file.to_string(), snippet.to_string());
+        match self.remaining.get_mut(&key) {
+            Some((n, reason)) if *n > 0 => {
+                *n -= 1;
+                Some(reason.clone())
+            }
+            _ => None,
+        }
+    }
+
+    /// Entries (rule, file, snippet, unclaimed count) that matched nothing —
+    /// candidates for deletion at the next refresh.
+    pub fn stale(&self) -> Vec<(String, String, String, u64)> {
+        self.remaining
+            .iter()
+            .filter(|(_, (n, _))| *n > 0)
+            .map(|((r, f, s), (n, _))| (r.clone(), f.clone(), s.clone(), *n))
+            .collect()
+    }
+}
+
+/// Minimal recursive-descent JSON parser — just enough for the baseline file.
+mod json {
+    #[derive(Debug, Clone)]
+    pub enum Value {
+        Null,
+        // The gate never reads bool values, but the parser must accept them.
+        Bool(#[allow(dead_code)] bool),
+        Num(f64),
+        Str(String),
+        Arr(Vec<Value>),
+        Obj(Vec<(String, Value)>),
+    }
+
+    impl Value {
+        pub fn as_obj(&self) -> Option<&[(String, Value)]> {
+            match self {
+                Value::Obj(m) => Some(m),
+                _ => None,
+            }
+        }
+        pub fn as_arr(&self) -> Option<&[Value]> {
+            match self {
+                Value::Arr(a) => Some(a),
+                _ => None,
+            }
+        }
+        pub fn as_str(&self) -> Option<&str> {
+            match self {
+                Value::Str(s) => Some(s),
+                _ => None,
+            }
+        }
+        pub fn as_num(&self) -> Option<f64> {
+            match self {
+                Value::Num(n) => Some(*n),
+                _ => None,
+            }
+        }
+    }
+
+    pub fn parse(text: &str) -> Result<Value, String> {
+        let b = text.as_bytes();
+        let mut i = 0usize;
+        let v = value(b, &mut i)?;
+        skip_ws(b, &mut i);
+        if i != b.len() {
+            return Err(format!("trailing bytes at offset {i}"));
+        }
+        Ok(v)
+    }
+
+    fn skip_ws(b: &[u8], i: &mut usize) {
+        while *i < b.len() && b[*i].is_ascii_whitespace() {
+            *i += 1;
+        }
+    }
+
+    fn value(b: &[u8], i: &mut usize) -> Result<Value, String> {
+        skip_ws(b, i);
+        match b.get(*i) {
+            Some(b'{') => {
+                *i += 1;
+                let mut out = Vec::new();
+                skip_ws(b, i);
+                if b.get(*i) == Some(&b'}') {
+                    *i += 1;
+                    return Ok(Value::Obj(out));
+                }
+                loop {
+                    skip_ws(b, i);
+                    let k = match value(b, i)? {
+                        Value::Str(s) => s,
+                        _ => return Err(format!("object key must be a string at {i}")),
+                    };
+                    skip_ws(b, i);
+                    if b.get(*i) != Some(&b':') {
+                        return Err(format!("expected ':' at {i}"));
+                    }
+                    *i += 1;
+                    out.push((k, value(b, i)?));
+                    skip_ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b'}') => {
+                            *i += 1;
+                            return Ok(Value::Obj(out));
+                        }
+                        _ => return Err(format!("expected ',' or '}}' at {i}")),
+                    }
+                }
+            }
+            Some(b'[') => {
+                *i += 1;
+                let mut out = Vec::new();
+                skip_ws(b, i);
+                if b.get(*i) == Some(&b']') {
+                    *i += 1;
+                    return Ok(Value::Arr(out));
+                }
+                loop {
+                    out.push(value(b, i)?);
+                    skip_ws(b, i);
+                    match b.get(*i) {
+                        Some(b',') => *i += 1,
+                        Some(b']') => {
+                            *i += 1;
+                            return Ok(Value::Arr(out));
+                        }
+                        _ => return Err(format!("expected ',' or ']' at {i}")),
+                    }
+                }
+            }
+            Some(b'"') => {
+                *i += 1;
+                let mut s = String::new();
+                while *i < b.len() {
+                    match b[*i] {
+                        b'"' => {
+                            *i += 1;
+                            return Ok(Value::Str(s));
+                        }
+                        b'\\' => {
+                            *i += 1;
+                            match b.get(*i) {
+                                Some(b'n') => s.push('\n'),
+                                Some(b't') => s.push('\t'),
+                                Some(b'r') => s.push('\r'),
+                                Some(b'u') => {
+                                    let hex = b.get(*i + 1..*i + 5)
+                                        .and_then(|h| std::str::from_utf8(h).ok())
+                                        .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                        .ok_or_else(|| format!("bad \\u escape at {i}"))?;
+                                    s.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                                    *i += 4;
+                                }
+                                Some(&c) => s.push(c as char),
+                                None => return Err("dangling escape".into()),
+                            }
+                            *i += 1;
+                        }
+                        c if c < 0x80 => {
+                            s.push(c as char);
+                            *i += 1;
+                        }
+                        _ => {
+                            // Multi-byte UTF-8: copy the full scalar.
+                            let rest = std::str::from_utf8(&b[*i..])
+                                .map_err(|_| format!("invalid utf-8 at {i}"))?;
+                            let ch = rest.chars().next().ok_or("empty")?;
+                            s.push(ch);
+                            *i += ch.len_utf8();
+                        }
+                    }
+                }
+                Err("unterminated string".into())
+            }
+            Some(c) if c.is_ascii_digit() || *c == b'-' => {
+                let start = *i;
+                *i += 1;
+                while *i < b.len()
+                    && (b[*i].is_ascii_digit()
+                        || matches!(b[*i], b'.' | b'e' | b'E' | b'+' | b'-'))
+                {
+                    *i += 1;
+                }
+                std::str::from_utf8(&b[start..*i])
+                    .ok()
+                    .and_then(|s| s.parse().ok())
+                    .map(Value::Num)
+                    .ok_or_else(|| format!("bad number at {start}"))
+            }
+            Some(b't') if b[*i..].starts_with(b"true") => {
+                *i += 4;
+                Ok(Value::Bool(true))
+            }
+            Some(b'f') if b[*i..].starts_with(b"false") => {
+                *i += 5;
+                Ok(Value::Bool(false))
+            }
+            Some(b'n') if b[*i..].starts_with(b"null") => {
+                *i += 4;
+                Ok(Value::Null)
+            }
+            _ => Err(format!("unexpected byte at {i}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entry(rule: &str, snippet: &str, reason: &str) -> Entry {
+        Entry {
+            rule: rule.into(),
+            file: "crates/partition/src/bisect.rs".into(),
+            snippet: snippet.into(),
+            count: 1,
+            reason: reason.into(),
+        }
+    }
+
+    #[test]
+    fn roundtrips_through_render_and_parse() {
+        let b = Baseline {
+            entries: vec![entry("E1", "x.expect(\"boom\");", "documented invariant")],
+        };
+        let text = b.render();
+        let back = Baseline::parse(&text).unwrap();
+        assert_eq!(back.entries, b.entries);
+    }
+
+    #[test]
+    fn empty_reason_rejected() {
+        let b = Baseline { entries: vec![entry("E1", "x.unwrap();", "  ")] };
+        let err = Baseline::parse(&b.render()).unwrap_err();
+        assert!(err.contains("reason"));
+    }
+
+    #[test]
+    fn matcher_claims_and_reports_stale() {
+        let b = Baseline {
+            entries: vec![
+                entry("E1", "a.unwrap();", "r1"),
+                Entry { count: 2, ..entry("E1", "b.unwrap();", "r2") },
+            ],
+        };
+        let mut m = Matcher::new(&b);
+        assert!(m.claim("E1", "crates/partition/src/bisect.rs", "a.unwrap();").is_some());
+        assert!(m.claim("E1", "crates/partition/src/bisect.rs", "a.unwrap();").is_none());
+        assert!(m.claim("E1", "crates/partition/src/bisect.rs", "b.unwrap();").is_some());
+        let stale = m.stale();
+        assert_eq!(stale.len(), 1);
+        assert_eq!(stale[0].3, 1); // one of b's two uses unclaimed
+    }
+
+    #[test]
+    fn unreviewed_entries_detected() {
+        let b = Baseline {
+            entries: vec![entry("E1", "x.unwrap();", "UNREVIEWED: new site")],
+        };
+        assert_eq!(b.unreviewed().len(), 1);
+    }
+}

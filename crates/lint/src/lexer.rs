@@ -1,0 +1,371 @@
+//! A total, hand-rolled Rust lexer.
+//!
+//! The linter never needs a full parse — every rule matches short token
+//! patterns (`HashMap`, `Instant :: now`, `. unwrap (`) — but it must never
+//! misfire inside strings or comments, and it must never panic, whatever
+//! bytes it is fed (the proptest suite feeds it arbitrary input). The lexer
+//! therefore works on raw bytes, produces byte-offset spans, and treats every
+//! malformed construct (unterminated string, lone backslash, stray byte) as
+//! "consume something and keep going" rather than an error.
+//!
+//! Comments are not tokens: they are collected separately so the waiver
+//! scanner (`lint:allow(...)`) can read them while rule matchers see a
+//! comment-free stream.
+
+/// What a token is, as coarsely as the rules need.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Identifier or keyword (`HashMap`, `for`, `r#type`).
+    Ident,
+    /// Lifetime or loop label (`'a`, `'outer`).
+    Lifetime,
+    /// Numeric literal (possibly partial: `1.5` lexes as `1` `.` `5`).
+    Number,
+    /// String literal of any flavor: `"…"`, `r#"…"#`, `b"…"`, `c"…"`.
+    Str,
+    /// Character or byte literal (`'x'`, `b'\n'`).
+    Char,
+    /// A single punctuation byte (`.`, `:`, `!`, `{`, …).
+    Punct(u8),
+}
+
+/// One token with its byte span and 1-based line number.
+#[derive(Debug, Clone, Copy)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+}
+
+/// One comment (line or block, doc or plain) with span and starting line.
+#[derive(Debug, Clone, Copy)]
+pub struct Comment {
+    pub start: usize,
+    pub end: usize,
+    pub line: u32,
+}
+
+/// The result of lexing a source buffer.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    pub tokens: Vec<Token>,
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// The UTF-8-lossy text of a token in `src`.
+    pub fn text<'a>(&self, src: &'a [u8], tok: &Token) -> &'a [u8] {
+        &src[tok.start.min(src.len())..tok.end.min(src.len())]
+    }
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+/// Lex `src` completely. Total: consumes every byte, never panics.
+pub fn lex(src: &[u8]) -> Lexed {
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line = 1u32;
+    let n = src.len();
+    while i < n {
+        let b = src[i];
+        // Whitespace.
+        if b == b'\n' {
+            line += 1;
+            i += 1;
+            continue;
+        }
+        if b.is_ascii_whitespace() {
+            i += 1;
+            continue;
+        }
+        // Comments.
+        if b == b'/' && i + 1 < n && src[i + 1] == b'/' {
+            let start = i;
+            while i < n && src[i] != b'\n' {
+                i += 1;
+            }
+            out.comments.push(Comment { start, end: i, line });
+            continue;
+        }
+        if b == b'/' && i + 1 < n && src[i + 1] == b'*' {
+            let start = i;
+            let start_line = line;
+            let mut depth = 1u32;
+            i += 2;
+            while i < n && depth > 0 {
+                if src[i] == b'\n' {
+                    line += 1;
+                    i += 1;
+                } else if src[i] == b'/' && i + 1 < n && src[i + 1] == b'*' {
+                    depth += 1;
+                    i += 2;
+                } else if src[i] == b'*' && i + 1 < n && src[i + 1] == b'/' {
+                    depth -= 1;
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            out.comments.push(Comment { start, end: i, line: start_line });
+            continue;
+        }
+        // Raw / byte / C strings: r"…", r#"…"#, br"…", b"…", c"…".
+        if is_ident_start(b) {
+            // Look ahead for a string prefix before committing to an ident.
+            if let Some((end, lines)) = try_prefixed_string(src, i) {
+                out.tokens.push(Token { kind: TokenKind::Str, start: i, end, line });
+                line += lines;
+                i = end;
+                continue;
+            }
+            if b == b'b' && i + 1 < n && src[i + 1] == b'\'' {
+                let (end, lines) = scan_char(src, i + 1);
+                out.tokens.push(Token { kind: TokenKind::Char, start: i, end, line });
+                line += lines;
+                i = end;
+                continue;
+            }
+            let start = i;
+            while i < n && is_ident_continue(src[i]) {
+                i += 1;
+            }
+            out.tokens.push(Token { kind: TokenKind::Ident, start, end: i, line });
+            continue;
+        }
+        // Plain strings.
+        if b == b'"' {
+            let (end, lines) = scan_string(src, i);
+            out.tokens.push(Token { kind: TokenKind::Str, start: i, end, line });
+            line += lines;
+            i = end;
+            continue;
+        }
+        // Char literal vs lifetime/label.
+        if b == b'\'' {
+            // `'a` not followed by a closing quote is a lifetime; `'x'`,
+            // `'\n'`, `'é'` are char literals.
+            let is_lifetime = i + 1 < n
+                && is_ident_start(src[i + 1])
+                && src[i + 1] != b'\\'
+                && !(i + 2 < n && src[i + 2] == b'\'');
+            if is_lifetime {
+                let start = i;
+                i += 1;
+                while i < n && is_ident_continue(src[i]) {
+                    i += 1;
+                }
+                out.tokens.push(Token { kind: TokenKind::Lifetime, start, end: i, line });
+            } else {
+                let (end, lines) = scan_char(src, i);
+                out.tokens.push(Token { kind: TokenKind::Char, start: i, end, line });
+                line += lines;
+                i = end;
+            }
+            continue;
+        }
+        // Numbers: a digit run (suffixes/hex folded in; dots lex separately).
+        if b.is_ascii_digit() {
+            let start = i;
+            while i < n && (src[i].is_ascii_alphanumeric() || src[i] == b'_') {
+                i += 1;
+            }
+            out.tokens.push(Token { kind: TokenKind::Number, start, end: i, line });
+            continue;
+        }
+        // Everything else: one punctuation byte.
+        out.tokens.push(Token { kind: TokenKind::Punct(b), start: i, end: i + 1, line });
+        i += 1;
+    }
+    out
+}
+
+/// If `src[i..]` starts a prefixed string (`r"`, `r#"`, `br#"`, `b"`, `c"`),
+/// return `(end, newlines_consumed)`.
+fn try_prefixed_string(src: &[u8], i: usize) -> Option<(usize, u32)> {
+    let n = src.len();
+    let mut j = i;
+    // Optional b/c prefix, then optional r, then hashes+quote — or a bare
+    // b"/c" string.
+    let mut raw = false;
+    if j < n && (src[j] == b'b' || src[j] == b'c') {
+        j += 1;
+    }
+    if j < n && src[j] == b'r' {
+        raw = true;
+        j += 1;
+    }
+    if raw {
+        let mut hashes = 0usize;
+        while j < n && src[j] == b'#' {
+            hashes += 1;
+            j += 1;
+        }
+        if j < n && src[j] == b'"' {
+            j += 1;
+            let mut lines = 0u32;
+            // Scan for `"` followed by `hashes` hashes.
+            while j < n {
+                if src[j] == b'\n' {
+                    lines += 1;
+                    j += 1;
+                    continue;
+                }
+                if src[j] == b'"'
+                    && j + 1 + hashes <= n
+                    && src[j + 1..j + 1 + hashes].iter().all(|&c| c == b'#')
+                {
+                    return Some((j + 1 + hashes, lines));
+                }
+                j += 1;
+            }
+            return Some((n, lines)); // unterminated: consume to EOF
+        }
+        return None; // `r#foo` raw ident or plain ident starting with r/br
+    }
+    // Non-raw prefixed string: b"…" or c"…" (j advanced past prefix).
+    if j > i && j < n && src[j] == b'"' {
+        let (end, lines) = scan_string(src, j);
+        return Some((end, lines));
+    }
+    None
+}
+
+/// Scan a `"`-delimited string starting at the opening quote. Returns
+/// `(end_offset_past_close, newlines)`. Unterminated → EOF.
+fn scan_string(src: &[u8], open: usize) -> (usize, u32) {
+    let n = src.len();
+    let mut i = open + 1;
+    let mut lines = 0u32;
+    while i < n {
+        match src[i] {
+            b'\\' => {
+                // The escaped byte may itself be a newline (line continuation).
+                if i + 1 < n && src[i + 1] == b'\n' {
+                    lines += 1;
+                }
+                i = (i + 2).min(n);
+            }
+            b'"' => return (i + 1, lines),
+            b'\n' => {
+                lines += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    (n, lines)
+}
+
+/// Scan a `'`-delimited char literal starting at the opening quote. Bounded:
+/// gives up (treating the open quote as consumed) if no close appears within
+/// a short window, so `'a` mis-guessed as a char cannot swallow the file.
+fn scan_char(src: &[u8], open: usize) -> (usize, u32) {
+    let n = src.len();
+    let mut i = open + 1;
+    let mut lines = 0u32;
+    let limit = (open + 16).min(n);
+    while i < limit {
+        match src[i] {
+            b'\\' => {
+                if i + 1 < n && src[i + 1] == b'\n' {
+                    lines += 1;
+                }
+                i = (i + 2).min(n);
+            }
+            b'\'' => return (i + 1, lines),
+            b'\n' => {
+                lines += 1;
+                i += 1;
+            }
+            _ => i += 1,
+        }
+    }
+    ((open + 1).min(n), 0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn idents(src: &str) -> Vec<String> {
+        let lexed = lex(src.as_bytes());
+        lexed
+            .tokens
+            .iter()
+            .filter(|t| t.kind == TokenKind::Ident)
+            .map(|t| String::from_utf8_lossy(lexed.text(src.as_bytes(), t)).into_owned())
+            .collect()
+    }
+
+    #[test]
+    fn strings_and_comments_hide_identifiers() {
+        let src = r##"
+            // HashMap in a comment
+            /* HashMap /* nested */ still comment */
+            let s = "HashMap";
+            let r = r#"HashMap "quoted" inside"#;
+            let b = b"HashMap";
+            let real = HashMap::new();
+        "##;
+        let ids = idents(src);
+        assert_eq!(ids.iter().filter(|s| *s == "HashMap").count(), 1);
+    }
+
+    #[test]
+    fn lifetimes_are_not_chars() {
+        let src = "fn f<'a>(x: &'a str) { let c = 'x'; let nl = '\\n'; }";
+        let lexed = lex(src.as_bytes());
+        let lifetimes =
+            lexed.tokens.iter().filter(|t| t.kind == TokenKind::Lifetime).count();
+        let chars = lexed.tokens.iter().filter(|t| t.kind == TokenKind::Char).count();
+        assert_eq!(lifetimes, 2);
+        assert_eq!(chars, 2);
+    }
+
+    #[test]
+    fn line_numbers_track_all_multiline_constructs() {
+        let src = "a\n/* x\ny */\nb \"s\nt\" c\n'q'\nd";
+        let lexed = lex(src.as_bytes());
+        let find = |name: &str| {
+            lexed
+                .tokens
+                .iter()
+                .find(|t| lexed.text(src.as_bytes(), t) == name.as_bytes())
+                .map(|t| t.line)
+        };
+        assert_eq!(find("a"), Some(1));
+        assert_eq!(find("b"), Some(4));
+        assert_eq!(find("c"), Some(5));
+        assert_eq!(find("d"), Some(7));
+    }
+
+    #[test]
+    fn unterminated_constructs_consume_to_eof() {
+        for src in ["\"abc", "r#\"abc", "/* abc", "'"] {
+            let lexed = lex(src.as_bytes());
+            // Must terminate and cover the buffer without panicking.
+            let max_end = lexed
+                .tokens
+                .iter()
+                .map(|t| t.end)
+                .chain(lexed.comments.iter().map(|c| c.end))
+                .max()
+                .unwrap_or(0);
+            assert!(max_end <= src.len());
+        }
+    }
+
+    #[test]
+    fn raw_ident_is_an_ident() {
+        let ids = idents("let r#type = 1;");
+        assert!(ids.contains(&"r".to_string()) || ids.contains(&"type".to_string()));
+    }
+}

@@ -1,0 +1,85 @@
+//! Workspace source discovery.
+//!
+//! The linted surface is library code: `crates/*/src/**` plus the root
+//! package's `src/`. Integration tests (`tests/`), benches, examples and the
+//! vendored offline dependency stand-ins (`vendor/`) are deliberately out of
+//! scope — rules police the execution path, not test harnesses.
+//!
+//! Files are returned sorted by relative path so lint output, reports and
+//! baselines are deterministic (the linter practices rule D1).
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// Workspace-relative, forward-slash source paths under `root`.
+pub fn workspace_files(root: &Path) -> Result<Vec<String>, String> {
+    let mut roots: Vec<PathBuf> = Vec::new();
+    let crates_dir = root.join("crates");
+    if crates_dir.is_dir() {
+        for entry in read_dir_sorted(&crates_dir)? {
+            let src = entry.join("src");
+            if src.is_dir() {
+                roots.push(src);
+            }
+        }
+    }
+    let root_src = root.join("src");
+    if root_src.is_dir() {
+        roots.push(root_src);
+    }
+    let mut out = Vec::new();
+    for r in roots {
+        collect_rs(&r, &mut out)?;
+    }
+    let mut rel: Vec<String> = out
+        .into_iter()
+        .filter_map(|p| {
+            p.strip_prefix(root)
+                .ok()
+                .map(|q| q.components().map(|c| c.as_os_str().to_string_lossy()).collect::<Vec<_>>().join("/"))
+        })
+        .collect();
+    rel.sort();
+    Ok(rel)
+}
+
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) -> Result<(), String> {
+    for entry in read_dir_sorted(dir)? {
+        if entry.is_dir() {
+            collect_rs(&entry, out)?;
+        } else if entry.extension().is_some_and(|e| e == "rs") {
+            out.push(entry);
+        }
+    }
+    Ok(())
+}
+
+fn read_dir_sorted(dir: &Path) -> Result<Vec<PathBuf>, String> {
+    let rd = fs::read_dir(dir).map_err(|e| format!("read_dir {}: {e}", dir.display()))?;
+    let mut entries: Vec<PathBuf> = Vec::new();
+    for e in rd {
+        entries.push(e.map_err(|e| format!("read_dir {}: {e}", dir.display()))?.path());
+    }
+    entries.sort();
+    Ok(entries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn finds_this_crate_but_not_tests_or_vendor() {
+        // CARGO_MANIFEST_DIR = crates/lint; workspace root is two up.
+        let root = Path::new(env!("CARGO_MANIFEST_DIR")).join("../..");
+        let files = workspace_files(&root).unwrap();
+        assert!(files.contains(&"crates/lint/src/walker.rs".to_string()));
+        assert!(files.contains(&"src/lib.rs".to_string()));
+        assert!(files.iter().all(|f| !f.starts_with("vendor/")));
+        assert!(files.iter().all(|f| !f.contains("/tests/")));
+        // Sorted, deterministic.
+        let mut sorted = files.clone();
+        sorted.sort();
+        assert_eq!(files, sorted);
+    }
+}

@@ -1,0 +1,13 @@
+use std::collections::{HashMap, HashSet};
+
+pub fn build(keys: &[u32]) -> usize {
+    let mut m: HashMap<u32, u64> = HashMap::new();
+    let mut s = HashSet::new();
+    for &k in keys {
+        *m.entry(k).or_insert(0) += 1;
+        s.insert(k);
+    }
+    // A comment mentioning HashMap is fine, as is the string below.
+    let _label = "HashMap";
+    m.len() + s.len()
+}

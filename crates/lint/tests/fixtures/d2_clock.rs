@@ -1,0 +1,14 @@
+use std::time::Instant;
+
+pub fn measure() -> u64 {
+    let t0 = Instant::now();
+    let _wall = std::time::SystemTime::now();
+    let _who = std::thread::current().id();
+    t0.elapsed().as_nanos() as u64
+}
+
+pub fn waived() -> u64 {
+    // lint:allow(D2, fixture: a justified host-clock read)
+    let t = Instant::now();
+    t.elapsed().as_nanos() as u64
+}

@@ -1,0 +1,35 @@
+pub fn risky(v: Option<u32>, r: Result<u32, String>) -> u32 {
+    let a = v.unwrap();
+    let b = r.expect("must be ok");
+    if a + b > 100 {
+        panic!("overflowed the budget");
+    }
+    a + b
+}
+
+pub fn not_done() {
+    unimplemented!()
+}
+
+pub fn later() {
+    todo!("wire this up")
+}
+
+pub fn waived(v: Option<u32>) -> u32 {
+    // lint:allow(E1, fixture: invariant documented here)
+    v.expect("always Some by construction")
+}
+
+pub fn unwrap_or_is_fine(v: Option<u32>) -> u32 {
+    v.unwrap_or(0)
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn test_code_is_exempt() {
+        let x: Option<u32> = Some(1);
+        x.unwrap();
+        panic!("fine in tests");
+    }
+}

@@ -1,0 +1,18 @@
+pub fn kernel(items: &[u32]) -> Vec<String> {
+    let mut out = Vec::new();
+    let prefix = String::new();
+    for &it in items {
+        let label = format!("{prefix}{it}");
+        let copy = label.clone();
+        let mut scratch = Vec::new();
+        scratch.push(copy);
+        out.extend(scratch);
+    }
+    out
+}
+
+impl Render for Widget {
+    fn render(&self) -> String {
+        self.name.to_string()
+    }
+}

@@ -1,0 +1,7 @@
+// lint:allow(E1)
+pub fn missing_reason(v: Option<u32>) -> u32 {
+    v.unwrap()
+}
+
+// lint:allow(Z9, rule does not exist)
+pub fn unknown_rule() {}

@@ -1,0 +1,124 @@
+//! Fixture-based golden tests: each seeded-violation fixture must produce
+//! exactly the expected (rule, line, status) diagnostics when linted as if it
+//! lived at an in-scope path — and a fatal (gate-failing) outcome.
+
+use surfer_lint::report::Status;
+use surfer_lint::{lint_source, report::Diagnostic};
+
+fn lint_fixture(name: &str, virtual_path: &str) -> Vec<Diagnostic> {
+    let path =
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures").join(name);
+    let src = std::fs::read(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()));
+    lint_source(virtual_path, &src)
+}
+
+/// (rule, line, status) triples, sorted.
+fn shape(diags: &[Diagnostic]) -> Vec<(String, u32, &'static str)> {
+    let mut v: Vec<_> =
+        diags.iter().map(|d| (d.rule.to_string(), d.line, d.status.as_str())).collect();
+    v.sort();
+    v
+}
+
+fn fatal_count(diags: &[Diagnostic]) -> usize {
+    diags.iter().filter(|d| d.is_fatal()).count()
+}
+
+#[test]
+fn d1_fixture_exact_findings() {
+    let diags = lint_fixture("d1_hashmap.rs", "crates/partition/src/fixture.rs");
+    assert_eq!(
+        shape(&diags),
+        vec![
+            ("D1".into(), 1, "active"),
+            ("D1".into(), 1, "active"),
+            ("D1".into(), 4, "active"),
+            ("D1".into(), 4, "active"),
+            ("D1".into(), 5, "active"),
+        ]
+    );
+    assert_eq!(fatal_count(&diags), 5, "seeded D1 fixture must fail the gate");
+}
+
+#[test]
+fn d1_fixture_is_clean_outside_scope() {
+    let diags = lint_fixture("d1_hashmap.rs", "crates/bench/src/fixture.rs");
+    assert_eq!(fatal_count(&diags), 0);
+}
+
+#[test]
+fn d2_fixture_exact_findings() {
+    let diags = lint_fixture("d2_clock.rs", "crates/core/src/fixture.rs");
+    assert_eq!(
+        shape(&diags),
+        vec![
+            ("D2".into(), 1, "active"),
+            ("D2".into(), 4, "active"),
+            ("D2".into(), 5, "active"),
+            ("D2".into(), 6, "active"),
+            ("D2".into(), 12, "waived"),
+        ]
+    );
+    assert_eq!(fatal_count(&diags), 4);
+    // The clock boundary itself is exempt.
+    let exempt = lint_fixture("d2_clock.rs", "crates/obs/src/fixture.rs");
+    assert!(exempt.iter().all(|d| d.rule != "D2"));
+    let time_rs = lint_fixture("d2_clock.rs", "crates/cluster/src/time.rs");
+    assert!(time_rs.iter().all(|d| d.rule != "D2"));
+}
+
+#[test]
+fn e1_fixture_exact_findings() {
+    let diags = lint_fixture("e1_panics.rs", "crates/core/src/fixture.rs");
+    assert_eq!(
+        shape(&diags),
+        vec![
+            ("E1".into(), 2, "active"),
+            ("E1".into(), 3, "active"),
+            ("E1".into(), 5, "active"),
+            ("E1".into(), 11, "active"),
+            ("E1".into(), 15, "active"),
+            ("E1".into(), 20, "waived"),
+        ]
+    );
+    assert_eq!(fatal_count(&diags), 5);
+}
+
+#[test]
+fn p1_fixture_exact_findings() {
+    let diags = lint_fixture("p1_alloc.rs", "crates/core/src/engine.rs");
+    assert_eq!(
+        shape(&diags),
+        vec![
+            ("P1".into(), 5, "active"),
+            ("P1".into(), 6, "active"),
+            ("P1".into(), 7, "active"),
+        ]
+    );
+    // Advisory severity: flagged but never fatal.
+    assert_eq!(fatal_count(&diags), 0);
+    // P1 only applies to the named kernel files.
+    let other = lint_fixture("p1_alloc.rs", "crates/core/src/fixture.rs");
+    assert!(other.iter().all(|d| d.rule != "P1"));
+}
+
+#[test]
+fn w1_fixture_exact_findings() {
+    let diags = lint_fixture("w1_waivers.rs", "crates/core/src/fixture.rs");
+    assert_eq!(
+        shape(&diags),
+        vec![
+            ("E1".into(), 3, "active"),
+            ("W1".into(), 1, "active"),
+            ("W1".into(), 6, "active"),
+        ]
+    );
+    assert_eq!(fatal_count(&diags), 3);
+}
+
+#[test]
+fn waived_diagnostics_carry_their_reason() {
+    let diags = lint_fixture("e1_panics.rs", "crates/core/src/fixture.rs");
+    let waived = diags.iter().find(|d| matches!(d.status, Status::Waived(_))).unwrap();
+    assert_eq!(waived.status.reason(), Some("fixture: invariant documented here"));
+}

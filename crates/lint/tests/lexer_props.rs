@@ -1,0 +1,103 @@
+//! Property tests: the lexer is total (never panics) and span-faithful
+//! (token spans are in-bounds, non-overlapping, monotonically increasing,
+//! and slicing the source at a span reproduces the token) on arbitrary
+//! input — raw random bytes and random splices of Rust-ish fragments alike.
+
+use proptest::prelude::*;
+use surfer_lint::lexer::lex;
+use surfer_lint::lint_source;
+
+/// Rust-ish fragments, including pathological partial constructs.
+const FRAGMENTS: &[&str] = &[
+    "fn main() {}",
+    "let x = \"str with \\\" escape\";",
+    "r#\"raw \"quoted\" string\"#",
+    "b\"bytes\"",
+    "'c'",
+    "'\\n'",
+    "'lifetime",
+    "<'a, 'b>",
+    "// line comment\n",
+    "/* block /* nested */ comment */",
+    "/* unterminated",
+    "\"unterminated",
+    "r###\"deep raw",
+    "0xff_u32 1.5e-3 1..n",
+    "#[cfg(test)] mod t { panic!() }",
+    "x.unwrap().expect(\"boom\")",
+    "HashMap::<K, V>::new()",
+    "Instant::now()",
+    "for x in 0..10 { v.push(x); }",
+    "émoji → 日本語",
+    "\\",
+    "'",
+    "\u{0}\u{1}",
+    "lint:allow(E1, reason)",
+];
+
+fn splice(picks: &[usize]) -> Vec<u8> {
+    let mut s = Vec::new();
+    for &p in picks {
+        s.extend_from_slice(FRAGMENTS[p % FRAGMENTS.len()].as_bytes());
+        s.push(b' ');
+    }
+    s
+}
+
+fn check_spans(src: &[u8]) {
+    let lexed = lex(src);
+    let mut prev_end = 0usize;
+    let mut prev_line = 1u32;
+    for t in &lexed.tokens {
+        // In-bounds, non-empty, non-overlapping, ordered.
+        assert!(t.start < t.end, "empty span {t:?}");
+        assert!(t.end <= src.len(), "span past EOF {t:?}");
+        assert!(t.start >= prev_end, "overlapping spans at {t:?}");
+        // Line numbers never decrease and stay consistent with the source.
+        assert!(t.line >= prev_line, "line went backwards at {t:?}");
+        let newlines =
+            src[..t.start].iter().filter(|&&b| b == b'\n').count() as u32;
+        assert_eq!(t.line, newlines + 1, "wrong line for {t:?}");
+        prev_end = t.end;
+        prev_line = t.line;
+    }
+    // Comments are also in-bounds and ordered among themselves.
+    let mut prev = 0usize;
+    for c in &lexed.comments {
+        assert!(c.start < c.end && c.end <= src.len());
+        assert!(c.start >= prev);
+        prev = c.end;
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn lexer_total_on_random_bytes(bytes in proptest::collection::vec(0u16..256, 0..300)) {
+        let src: Vec<u8> = bytes.iter().map(|&b| b as u8).collect();
+        check_spans(&src);
+    }
+
+    #[test]
+    fn lexer_total_on_rustish_splices(picks in proptest::collection::vec(0usize..64, 0..40)) {
+        check_spans(&splice(&picks));
+    }
+
+    #[test]
+    fn full_pipeline_never_panics(picks in proptest::collection::vec(0usize..64, 0..40)) {
+        // Rules + waivers + test-masking on arbitrary splices, under every
+        // scope (each path turns different rules on).
+        let src = splice(&picks);
+        for path in [
+            "crates/core/src/engine.rs",
+            "crates/partition/src/lib.rs",
+            "crates/cluster/src/time.rs",
+            "crates/bench/src/lib.rs",
+        ] {
+            for d in lint_source(path, &src) {
+                prop_assert!(d.line >= 1);
+            }
+        }
+    }
+}

@@ -1,0 +1,71 @@
+//! Self-check: the workspace itself lints clean against the committed
+//! baseline — zero active deny findings and no unreviewed baseline entries.
+//! This is the same predicate `reproduce -- lint` gates on, run as a test so
+//! plain `cargo test --workspace` catches regressions too.
+
+use surfer_lint::baseline::Baseline;
+use surfer_lint::rules::Severity;
+use surfer_lint::{lint_workspace, report::Status};
+
+fn workspace_root() -> std::path::PathBuf {
+    // crates/lint/../.. == repo root.
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../..").canonicalize().unwrap()
+}
+
+#[test]
+fn workspace_lints_clean_against_committed_baseline() {
+    let root = workspace_root();
+    let text = std::fs::read_to_string(root.join("LINT_baseline.json"))
+        .expect("LINT_baseline.json must exist at the repo root");
+    let baseline = Baseline::parse(&text).expect("committed baseline must parse");
+    assert!(
+        baseline.unreviewed().is_empty(),
+        "committed baseline has UNREVIEWED entries: {:?}",
+        baseline.unreviewed()
+    );
+
+    let outcome = lint_workspace(&root, Some(&baseline)).expect("workspace walk");
+    assert!(outcome.files_scanned > 50, "suspiciously few files scanned");
+
+    let fatal = outcome.fatal();
+    assert!(
+        fatal.is_empty(),
+        "active deny findings:\n{}",
+        fatal
+            .iter()
+            .map(|d| format!("  {} {}:{} {}", d.rule, d.file, d.line, d.snippet))
+            .collect::<Vec<_>>()
+            .join("\n")
+    );
+}
+
+#[test]
+fn every_waiver_and_baseline_entry_has_a_reason() {
+    let root = workspace_root();
+    let text = std::fs::read_to_string(root.join("LINT_baseline.json")).unwrap();
+    let baseline = Baseline::parse(&text).unwrap();
+    let outcome = lint_workspace(&root, Some(&baseline)).unwrap();
+    for d in &outcome.diagnostics {
+        match &d.status {
+            Status::Waived(reason) | Status::Baselined(reason) => {
+                assert!(
+                    !reason.trim().is_empty(),
+                    "{} {}:{} suppressed without a reason",
+                    d.rule,
+                    d.file,
+                    d.line
+                );
+            }
+            Status::Active => {
+                // Active advisories are allowed; active denies are caught above.
+                assert!(
+                    d.severity == Severity::Advisory || d.is_fatal(),
+                    "status/severity invariant broke for {} {}:{}",
+                    d.rule,
+                    d.file,
+                    d.line
+                );
+            }
+        }
+    }
+}

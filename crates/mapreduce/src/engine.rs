@@ -140,10 +140,10 @@ impl<'a> MapReduceEngine<'a> {
         let per_partition: TimedPairs<M::Key, M::Value> =
             try_par_map_vec(self.threads, pids.clone(), |_, pid| {
                 let _s = surfer_obs::span_under("mr.map.part", map_sid, || format!("p{pid}"));
-                let t0 = surfer_obs::enabled().then(std::time::Instant::now);
+                let t0 = surfer_obs::stopwatch();
                 let mut em = Emitter::new();
                 mapper.map(pg, pid, &mut em);
-                (em.into_pairs(), t0.map_or(0, |t| t.elapsed().as_nanos() as u64))
+                (em.into_pairs(), t0.elapsed_ns())
             })
             .map_err(|e| MapReduceError::MapPanic {
                 partition: pids[e.index],
@@ -190,14 +190,14 @@ impl<'a> MapReduceEngine<'a> {
         let reduce_sid = reduce_span.id();
         let reduced: Vec<(Vec<R::Out>, u64, u64)> = try_par_map_vec(self.threads, groups, |m, g| {
             let _s = surfer_obs::span_under("mr.reduce.machine", reduce_sid, || format!("m{m}"));
-            let t0 = surfer_obs::enabled().then(std::time::Instant::now);
+            let t0 = surfer_obs::stopwatch();
             let mut outs = Vec::new();
             let mut values = 0u64;
             for (k, vs) in &g {
                 values += vs.len() as u64;
                 reducer.reduce(k, vs, &mut outs);
             }
-            let ns = t0.map_or(0, |t| t.elapsed().as_nanos() as u64);
+            let ns = t0.elapsed_ns();
             (outs, values, ns)
         })
         .map_err(|e| MapReduceError::ReducePanic { machine: e.index as u16, message: e.message })?;

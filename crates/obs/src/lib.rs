@@ -62,6 +62,36 @@ pub fn enabled() -> bool {
     ENABLED.load(Ordering::Relaxed)
 }
 
+/// A session-gated wall-clock stopwatch.
+///
+/// This is the *only* way engine code may touch host time: the `Instant` is
+/// captured only while a recording session is active, so engine logic stays
+/// clock-free (lint rule D2) and timings remain a pure observability
+/// concern. When no session is recording, [`Stopwatch::elapsed_ns`] is 0 and
+/// the whole thing costs one relaxed atomic load.
+#[derive(Debug, Clone, Copy)]
+pub struct Stopwatch(Option<Instant>);
+
+/// Start a stopwatch; inert unless a session is recording.
+#[inline]
+pub fn stopwatch() -> Stopwatch {
+    Stopwatch(enabled().then(Instant::now))
+}
+
+impl Stopwatch {
+    /// Nanoseconds since [`stopwatch`] was called, or 0 when inert.
+    #[inline]
+    pub fn elapsed_ns(&self) -> u64 {
+        self.0.map_or(0, |t| t.elapsed().as_nanos() as u64)
+    }
+
+    /// True when a session was recording at start.
+    #[inline]
+    pub fn is_recording(&self) -> bool {
+        self.0.is_some()
+    }
+}
+
 /// One completed span.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SpanRec {

@@ -290,12 +290,14 @@ pub fn detect_stragglers(samples: &[IterationSample], skew_threshold: f64) -> Ve
             continue;
         }
         let mut times: Vec<u64> = (0..lanes).map(|i| s.lane_ns(i)).collect();
-        let (max_ns, worst) = times
+        let Some((max_ns, worst)) = times
             .iter()
             .enumerate()
             .map(|(i, &t)| (t, i))
             .max_by(|a, b| a.0.cmp(&b.0).then(b.1.cmp(&a.1)))
-            .unwrap();
+        else {
+            continue;
+        };
         times.sort_unstable();
         let median_ns = times[lanes / 2];
         if median_ns == 0 {

@@ -21,6 +21,7 @@ impl Partitioning {
     pub fn new(pids: Vec<u32>, num_partitions: u32) -> Self {
         assert!(num_partitions >= 1, "need at least one partition");
         if let Some(&bad) = pids.iter().find(|&&p| p >= num_partitions) {
+            // lint:allow(E1, documented constructor validation; misuse is a caller bug)
             panic!("partition id {bad} out of range (P = {num_partitions})");
         }
         Partitioning { pids, num_partitions }

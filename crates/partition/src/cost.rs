@@ -15,7 +15,7 @@
 //! where the exchange traffic lands in the topology.
 
 use crate::bandwidth_aware::PlacedPartitioning;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use surfer_cluster::{ExecReport, Executor, MachineId, SimCluster, TaskKind, TaskSpec};
 use surfer_graph::CsrGraph;
 
@@ -55,12 +55,12 @@ pub fn simulate_partitioning(
     let mut ex = Executor::new(cluster);
     // (sketch node, machine) -> task that leaves the node's data share on
     // that machine.
-    let mut node_task: HashMap<(usize, MachineId), usize> = HashMap::new();
+    let mut node_task: BTreeMap<(usize, MachineId), usize> = BTreeMap::new();
 
     // Load phase: the root machine set reads its shares from disk. Kept in
     // a separate map — the root's *bisection* tasks also key on (root, m).
     let root_set = placed.machine_sets[root].clone();
-    let mut load_task: HashMap<MachineId, usize> = HashMap::new();
+    let mut load_task: BTreeMap<MachineId, usize> = BTreeMap::new();
     for &m in &root_set {
         let share = graph_bytes / root_set.len() as f64;
         let t = ex.add_task(

@@ -11,7 +11,7 @@
 use crate::assignment::Partitioning;
 use crate::bandwidth_aware::PlacedPartitioning;
 use crate::encoding::VertexEncoding;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet};
 use std::sync::Arc;
 use surfer_cluster::MachineId;
 use surfer_graph::{CsrGraph, VertexId};
@@ -23,12 +23,12 @@ pub struct PartitionMeta {
     pub members: Vec<VertexId>,
     /// The boundary-vertex hash table (vertices with at least one
     /// cross-partition edge, in either direction).
-    pub boundary: HashSet<VertexId>,
+    pub boundary: BTreeSet<VertexId>,
     /// The (v, pid) map: destination vertices of outgoing cross-partition
     /// edges and the remote partition holding them.
-    pub remote_dest_pid: HashMap<VertexId, u32>,
+    pub remote_dest_pid: BTreeMap<VertexId, u32>,
     /// Outgoing cross-edge count per remote partition.
-    pub cross_out_edges: HashMap<u32, u64>,
+    pub cross_out_edges: BTreeMap<u32, u64>,
     /// Number of edges fully inside this partition.
     pub inner_edges: u64,
     /// Total out-edges of members.
@@ -89,9 +89,9 @@ impl PartitionedGraph {
                     members.iter().map(|&v| 8 + 4 * graph.out_degree(v) as u64).sum::<u64>();
                 PartitionMeta {
                     members,
-                    boundary: HashSet::new(),
-                    remote_dest_pid: HashMap::new(),
-                    cross_out_edges: HashMap::new(),
+                    boundary: BTreeSet::new(),
+                    remote_dest_pid: BTreeMap::new(),
+                    cross_out_edges: BTreeMap::new(),
                     inner_edges: 0,
                     total_out_edges: 0,
                     bytes,

@@ -110,10 +110,14 @@ pub fn read_snapshot(path: impl AsRef<Path>, expect_pid: u32) -> Result<(u32, Ve
     if blob.len() < SNAPSHOT_HEADER || &blob[..4] != SNAPSHOT_MAGIC {
         return Err(corrupt("bad magic or truncated header".into()));
     }
-    let le32 = |at: usize| u32::from_le_bytes(blob[at..at + 4].try_into().unwrap());
+    // Infallible header decode: the length check above guarantees every
+    // fixed-size field is present, so index arithmetic never needs unwrap.
+    let le32 = |at: usize| {
+        u32::from_le_bytes([blob[at], blob[at + 1], blob[at + 2], blob[at + 3]])
+    };
     let iteration = le32(4);
     let pid = le32(8);
-    let len = u64::from_le_bytes(blob[12..20].try_into().unwrap()) as usize;
+    let len = (le32(12) as u64 | ((le32(16) as u64) << 32)) as usize;
     let crc = le32(20);
     if pid != expect_pid {
         return Err(corrupt(format!("holds partition {pid}, expected {expect_pid}")));

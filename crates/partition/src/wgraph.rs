@@ -12,7 +12,7 @@
 use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use surfer_graph::CsrGraph;
 
 /// Undirected weighted graph with weighted vertices.
@@ -28,7 +28,7 @@ impl WGraph {
     /// Build the undirected weighted view of a directed graph.
     pub fn from_csr(g: &CsrGraph) -> Self {
         let n = g.num_vertices() as usize;
-        let mut maps: Vec<HashMap<u32, u64>> = vec![HashMap::new(); n];
+        let mut maps: Vec<BTreeMap<u32, u64>> = vec![BTreeMap::new(); n];
         for e in g.edges() {
             if e.src == e.dst {
                 continue; // self-loops never cross a cut
@@ -36,14 +36,9 @@ impl WGraph {
             *maps[e.src.index()].entry(e.dst.0).or_insert(0) += 1;
             *maps[e.dst.index()].entry(e.src.0).or_insert(0) += 1;
         }
-        let adj: Vec<Vec<(u32, u64)>> = maps
-            .into_iter()
-            .map(|m| {
-                let mut v: Vec<(u32, u64)> = m.into_iter().collect();
-                v.sort_unstable();
-                v
-            })
-            .collect();
+        // BTreeMap iterates in key order, so each adjacency list is sorted.
+        let adj: Vec<Vec<(u32, u64)>> =
+            maps.into_iter().map(|m| m.into_iter().collect()).collect();
         let vwgt = (0..n).map(|v| 1 + g.out_degree(surfer_graph::VertexId(v as u32)) as u64).collect();
         WGraph { vwgt, adj }
     }
@@ -117,7 +112,7 @@ impl WGraph {
         for v in 0..n {
             vwgt[coarse_of[v] as usize] += self.vwgt[v];
         }
-        let mut maps: Vec<HashMap<u32, u64>> = vec![HashMap::new(); cn];
+        let mut maps: Vec<BTreeMap<u32, u64>> = vec![BTreeMap::new(); cn];
         for v in 0..n {
             let cv = coarse_of[v];
             for &(u, w) in &self.adj[v] {
@@ -129,11 +124,7 @@ impl WGraph {
         }
         let adj = maps
             .into_iter()
-            .map(|m| {
-                let mut v: Vec<(u32, u64)> = m.into_iter().collect();
-                v.sort_unstable();
-                v
-            })
+            .map(|m| m.into_iter().collect::<Vec<(u32, u64)>>())
             .collect();
         (WGraph { vwgt, adj }, coarse_of)
     }
@@ -144,7 +135,7 @@ impl WGraph {
     /// ancestor's cut. Returns the subgraph and the id mapping
     /// (`parent_ids[local] = parent index`).
     pub fn induced(&self, ids: &[u32]) -> (WGraph, Vec<u32>) {
-        let mut local_of = HashMap::with_capacity(ids.len());
+        let mut local_of = BTreeMap::new();
         for (i, &v) in ids.iter().enumerate() {
             local_of.insert(v, i as u32);
         }
