@@ -11,7 +11,7 @@ use crate::Workload;
 // lint:allow(D2, the bench harness measures real host wall-clock by design)
 use std::time::Instant;
 use surfer_apps::pagerank::PageRankPropagation;
-use surfer_cluster::par::resolve_threads;
+use surfer_cluster::par::{resolve_threads, resolve_threads_clamped};
 use surfer_core::{EngineOptions, OptimizationLevel, PropagationEngine};
 
 /// One measured configuration.
@@ -31,11 +31,14 @@ pub struct ThreadResult {
 
 /// The thread counts swept: sequential baseline, 2 workers, and one worker
 /// per host core (deduplicated — on a 1- or 2-core host the sweep shrinks).
+/// Deduplication uses the *clamped* resolution the engine actually applies,
+/// so oversubscribed knobs that collapse onto the core count are not
+/// measured twice.
 pub fn sweep_counts() -> Vec<usize> {
     let mut counts = Vec::new();
     let mut seen = Vec::new();
     for t in [1usize, 2, resolve_threads(0)] {
-        let resolved = resolve_threads(t);
+        let resolved = resolve_threads_clamped(t);
         if !seen.contains(&resolved) {
             seen.push(resolved);
             counts.push(t);
@@ -44,9 +47,76 @@ pub fn sweep_counts() -> Vec<usize> {
     counts
 }
 
+/// One measured kernel lane (single-threaded, so the comparison isolates
+/// the execution model — columnar operators vs per-edge UDF dispatch —
+/// from parallel speedup).
+#[derive(Debug, Clone, Copy)]
+pub struct KernelLaneResult {
+    /// `"scalar"` or `"vectorized"`.
+    pub lane: &'static str,
+    /// Wall-clock milliseconds for all iterations.
+    pub wall_ms: f64,
+    /// Messages emitted across all iterations.
+    pub messages: u64,
+    /// Host throughput.
+    pub messages_per_sec: f64,
+    /// Throughput relative to the scalar lane (1.0 for scalar itself).
+    pub speedup_vs_scalar: f64,
+}
+
+/// Benchmark the columnar kernel lane against the scalar UDF lane on the
+/// same single-threaded PageRank job, asserting the two produce
+/// bit-identical states before reporting throughput.
+pub fn run_kernel_lanes(w: &Workload, iterations: u32) -> Vec<KernelLaneResult> {
+    let surfer = w.surfer(w.t1_cluster(), OptimizationLevel::O4);
+    let prog = PageRankPropagation { damping: 0.85, n: w.graph.num_vertices() as u64 };
+    let engine = PropagationEngine::new(
+        surfer.cluster(),
+        surfer.partitioned(),
+        EngineOptions::full().threads(1),
+    );
+
+    let mut lanes = Vec::new();
+    let mut states: Vec<Vec<f64>> = Vec::new();
+    for lane in ["scalar", "vectorized"] {
+        let mut state = engine.init_state(&prog);
+        let mut messages = 0u64;
+        // lint:allow(D2, host wall-clock is the measurement itself here)
+        let start = Instant::now();
+        for _ in 0..iterations {
+            let (_, m) = if lane == "scalar" {
+                engine.run_iteration_counted(&prog, &mut state).unwrap()
+            } else {
+                engine.run_iteration_vectorized_counted(&prog, &mut state).unwrap()
+            };
+            messages += m;
+        }
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        states.push(state);
+        lanes.push(KernelLaneResult {
+            lane,
+            wall_ms,
+            messages,
+            messages_per_sec: messages as f64 / (wall_ms / 1e3).max(1e-9),
+            speedup_vs_scalar: 1.0,
+        });
+    }
+    assert!(
+        states[0].iter().zip(&states[1]).all(|(x, y)| x.to_bits() == y.to_bits()),
+        "vectorized lane diverged from the scalar lane"
+    );
+    let scalar_rate = lanes[0].messages_per_sec;
+    for l in &mut lanes {
+        l.speedup_vs_scalar = l.messages_per_sec / scalar_rate.max(1e-9);
+    }
+    lanes
+}
+
 /// Run `iterations` PageRank iterations at each thread count, checking that
-/// every run produces bit-identical states to the sequential baseline.
-pub fn run(w: &Workload, iterations: u32) -> (Vec<ThreadResult>, String) {
+/// every run produces bit-identical states to the sequential baseline, then
+/// benchmark the scalar-vs-vectorized kernel lanes. Returns the thread
+/// results, the kernel-lane results and the JSON document.
+pub fn run(w: &Workload, iterations: u32) -> (Vec<ThreadResult>, Vec<KernelLaneResult>, String) {
     let surfer = w.surfer(w.t1_cluster(), OptimizationLevel::O4);
     let prog = PageRankPropagation { damping: 0.85, n: w.graph.num_vertices() as u64 };
 
@@ -87,13 +157,20 @@ pub fn run(w: &Workload, iterations: u32) -> (Vec<ThreadResult>, String) {
         });
     }
 
-    let json = render_json(w, iterations, baseline_ms, &results);
-    (results, json)
+    let lanes = run_kernel_lanes(w, iterations);
+    let json = render_json(w, iterations, baseline_ms, &results, &lanes);
+    (results, lanes, json)
 }
 
 /// Hand-rolled JSON (the workspace deliberately has no serialization deps
 /// beyond the vendored stubs).
-fn render_json(w: &Workload, iterations: u32, baseline_ms: f64, results: &[ThreadResult]) -> String {
+fn render_json(
+    w: &Workload,
+    iterations: u32,
+    baseline_ms: f64,
+    results: &[ThreadResult],
+    lanes: &[KernelLaneResult],
+) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"experiment\": \"propagation_threads\",\n");
     out.push_str(&format!("  \"scale\": \"{:?}\",\n", w.cfg.scale));
@@ -115,6 +192,20 @@ fn render_json(w: &Workload, iterations: u32, baseline_ms: f64, results: &[Threa
             r.messages_per_sec,
             baseline_ms / r.wall_ms.max(1e-9),
             if i + 1 == results.len() { "" } else { "," },
+        ));
+    }
+    out.push_str("  ],\n");
+    out.push_str("  \"kernel_lanes\": [\n");
+    for (i, l) in lanes.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"lane\": \"{}\", \"threads\": 1, \"wall_ms\": {:.3}, \
+             \"messages\": {}, \"messages_per_sec\": {:.1}, \"speedup_vs_scalar\": {:.3}}}{}\n",
+            l.lane,
+            l.wall_ms,
+            l.messages,
+            l.messages_per_sec,
+            l.speedup_vs_scalar,
+            if i + 1 == lanes.len() { "" } else { "," },
         ));
     }
     out.push_str("  ]\n}\n");
@@ -142,10 +233,20 @@ mod tests {
     fn bench_runs_and_emits_json() {
         let cfg = ExpConfig { scale: MsnScale::Tiny, machines: 4, partitions: 8, seed: 2010 };
         let w = Workload::prepare(cfg);
-        let (results, json) = run(&w, 1);
+        let (results, lanes, json) = run(&w, 1);
         assert!(!results.is_empty());
         assert!(results.iter().all(|r| r.messages > 0));
         assert!(json.contains("\"experiment\": \"propagation_threads\""));
         assert!(json.contains("\"speedup_vs_1\""));
+        // Kernel lanes: scalar first, then vectorized; identical message
+        // counts (bit-identity of the states is asserted inside the run).
+        assert_eq!(lanes.len(), 2);
+        assert_eq!(lanes[0].lane, "scalar");
+        assert_eq!(lanes[1].lane, "vectorized");
+        assert_eq!(lanes[0].messages, lanes[1].messages);
+        assert!(json.contains("\"kernel_lanes\""));
+        assert!(json.contains("\"speedup_vs_scalar\""));
+        // The spliced chaos entry relies on the document ending in '}'.
+        assert!(json.trim_end().ends_with('}'));
     }
 }

@@ -1,0 +1,200 @@
+//! Typed columnar vertex-state buffers for the vectorized kernel lane.
+//!
+//! The generic engine drives `transfer`/`combine` through per-vertex UDF
+//! calls over an opaque `Vec<State>`. Vectorized programs instead expose
+//! their state as a small set of flat, typed columns — `f64`/`u32`/`u64`
+//! value columns plus `bool` flag columns — so the kernel's gather/transfer
+//! scan runs tight monomorphic loops over contiguous memory. States the
+//! typed columns cannot express ride in a boxed fallback column, keeping
+//! the abstraction total (such programs simply gain nothing from it).
+//!
+//! Columns are rebuilt from the canonical `Vec<State>` at the start of each
+//! vectorized round and never outlive it: the row-major state vector stays
+//! the single source of truth (checkpointing, recovery and the scalar
+//! fallback all keep operating on it unchanged).
+
+use std::any::Any;
+
+/// One typed column of per-vertex values.
+#[derive(Debug)]
+pub enum StateColumn {
+    /// 64-bit float values (ranks, scores).
+    F64(Vec<f64>),
+    /// 32-bit unsigned values (labels, distances).
+    U32(Vec<u32>),
+    /// 64-bit unsigned values (counters).
+    U64(Vec<u64>),
+    /// Per-vertex flags (frontier / changed markers).
+    Bool(Vec<bool>),
+    /// Fallback for state the typed columns cannot express.
+    Boxed(Vec<Box<dyn Any + Send + Sync>>),
+}
+
+impl StateColumn {
+    /// Number of rows in the column.
+    pub fn len(&self) -> usize {
+        match self {
+            StateColumn::F64(c) => c.len(),
+            StateColumn::U32(c) => c.len(),
+            StateColumn::U64(c) => c.len(),
+            StateColumn::Bool(c) => c.len(),
+            StateColumn::Boxed(c) => c.len(),
+        }
+    }
+
+    /// True when the column has no rows.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Heap bytes of the column payload.
+    pub fn payload_bytes(&self) -> u64 {
+        match self {
+            StateColumn::F64(c) => 8 * c.len() as u64,
+            StateColumn::U32(c) => 4 * c.len() as u64,
+            StateColumn::U64(c) => 8 * c.len() as u64,
+            StateColumn::Bool(c) => c.len() as u64,
+            // Box<dyn Any> payloads are opaque; charge the pointer column.
+            StateColumn::Boxed(c) => (std::mem::size_of::<usize>() * c.len()) as u64,
+        }
+    }
+}
+
+/// A named set of per-vertex columns sharing one row count.
+#[derive(Debug, Default)]
+pub struct ColumnarState {
+    columns: Vec<(&'static str, StateColumn)>,
+}
+
+impl ColumnarState {
+    /// An empty column set.
+    pub fn new() -> Self {
+        ColumnarState { columns: Vec::new() }
+    }
+
+    /// Append a column. The first column fixes the row count; later columns
+    /// must match it (mismatches are a program bug the differential suite
+    /// catches — the accessor simply won't find a short column's rows).
+    pub fn push(&mut self, name: &'static str, column: StateColumn) -> &mut Self {
+        self.columns.push((name, column));
+        self
+    }
+
+    /// Number of columns.
+    pub fn width(&self) -> usize {
+        self.columns.len()
+    }
+
+    /// Row count (of the first column; 0 when empty).
+    pub fn rows(&self) -> usize {
+        self.columns.first().map_or(0, |(_, c)| c.len())
+    }
+
+    /// Total heap bytes across columns.
+    pub fn payload_bytes(&self) -> u64 {
+        self.columns.iter().map(|(_, c)| c.payload_bytes()).sum()
+    }
+
+    /// Look a column up by name.
+    pub fn column(&self, name: &str) -> Option<&StateColumn> {
+        self.columns.iter().find(|(n, _)| *n == name).map(|(_, c)| c)
+    }
+
+    /// The named `f64` column, if present with that type.
+    #[inline]
+    pub fn f64s(&self, name: &str) -> Option<&[f64]> {
+        match self.column(name) {
+            Some(StateColumn::F64(c)) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The named `u32` column, if present with that type.
+    #[inline]
+    pub fn u32s(&self, name: &str) -> Option<&[u32]> {
+        match self.column(name) {
+            Some(StateColumn::U32(c)) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The named `u64` column, if present with that type.
+    #[inline]
+    pub fn u64s(&self, name: &str) -> Option<&[u64]> {
+        match self.column(name) {
+            Some(StateColumn::U64(c)) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The named `bool` column, if present with that type.
+    #[inline]
+    pub fn bools(&self, name: &str) -> Option<&[bool]> {
+        match self.column(name) {
+            Some(StateColumn::Bool(c)) => Some(c),
+            _ => None,
+        }
+    }
+
+    /// The named boxed fallback column, if present with that type.
+    pub fn boxed(&self, name: &str) -> Option<&[Box<dyn Any + Send + Sync>]> {
+        match self.column(name) {
+            Some(StateColumn::Boxed(c)) => Some(c),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> ColumnarState {
+        let mut cs = ColumnarState::new();
+        cs.push("rank", StateColumn::F64(vec![0.25, 0.75]));
+        cs.push("label", StateColumn::U32(vec![0, 1]));
+        cs.push("count", StateColumn::U64(vec![7, 9]));
+        cs.push("frontier", StateColumn::Bool(vec![true, false]));
+        cs
+    }
+
+    #[test]
+    fn typed_accessors_find_their_columns() {
+        let cs = sample();
+        assert_eq!(cs.f64s("rank"), Some(&[0.25, 0.75][..]));
+        assert_eq!(cs.u32s("label"), Some(&[0u32, 1][..]));
+        assert_eq!(cs.u64s("count"), Some(&[7u64, 9][..]));
+        assert_eq!(cs.bools("frontier"), Some(&[true, false][..]));
+        assert_eq!(cs.width(), 4);
+        assert_eq!(cs.rows(), 2);
+    }
+
+    #[test]
+    fn wrong_type_or_name_yields_none() {
+        let cs = sample();
+        assert!(cs.f64s("label").is_none(), "type mismatch");
+        assert!(cs.u32s("rank").is_none(), "type mismatch");
+        assert!(cs.f64s("missing").is_none(), "unknown name");
+        assert!(cs.boxed("rank").is_none());
+    }
+
+    #[test]
+    fn boxed_fallback_carries_opaque_state() {
+        let mut cs = ColumnarState::new();
+        let col: Vec<Box<dyn Any + Send + Sync>> =
+            vec![Box::new(String::from("alpha")), Box::new(String::from("beta"))];
+        cs.push("opaque", StateColumn::Boxed(col));
+        let rows = cs.boxed("opaque").unwrap();
+        assert_eq!(rows.len(), 2);
+        assert_eq!(rows[1].downcast_ref::<String>().map(String::as_str), Some("beta"));
+    }
+
+    #[test]
+    fn payload_bytes_counts_each_layout() {
+        let cs = sample();
+        // 2*8 + 2*4 + 2*8 + 2*1
+        assert_eq!(cs.payload_bytes(), 42);
+        assert!(ColumnarState::new().payload_bytes() == 0);
+        assert_eq!(ColumnarState::new().rows(), 0);
+    }
+}

@@ -46,6 +46,17 @@ pub struct EngineOptions {
     /// `0` (the default) means one per available core; `1` runs the legacy
     /// sequential path inline. Any value produces identical results.
     pub threads: usize,
+    /// Run programs implementing `VectorizedProgram` through the columnar
+    /// kernel lane (bit-identical to the scalar UDF path). Off forces the
+    /// scalar fallback even for opted-in programs.
+    pub vectorized: bool,
+    /// Allow `threads` above the host's available cores. Off (default),
+    /// `resolved_threads` clamps to the core count — oversubscribing the
+    /// CPU-bound partition scans only adds scheduler churn.
+    pub allow_oversubscription: bool,
+    /// Serve kernel adjacency gathers from the delta/varint `PackedCsr`
+    /// instead of raw CSR target slices (trades decode CPU for footprint).
+    pub packed_adjacency: bool,
 }
 
 impl EngineOptions {
@@ -54,24 +65,60 @@ impl EngineOptions {
         EngineOptions {
             local_propagation: level.local_propagation(),
             local_combination: level.local_combination(),
-            threads: 0,
+            ..EngineOptions::none()
         }
     }
 
     /// Everything on (O4 behaviour).
     pub fn full() -> Self {
-        EngineOptions { local_propagation: true, local_combination: true, threads: 0 }
+        EngineOptions { local_propagation: true, local_combination: true, ..EngineOptions::none() }
     }
 
     /// Everything off (O1 behaviour).
     pub fn none() -> Self {
-        EngineOptions { local_propagation: false, local_combination: false, threads: 0 }
+        EngineOptions {
+            local_propagation: false,
+            local_combination: false,
+            threads: 0,
+            vectorized: true,
+            allow_oversubscription: false,
+            packed_adjacency: false,
+        }
     }
 
     /// Set the host worker-thread count (`0` = available parallelism).
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// Toggle the columnar kernel lane (on by default).
+    pub fn vectorized(mut self, on: bool) -> Self {
+        self.vectorized = on;
+        self
+    }
+
+    /// Opt out of the host-core clamp on `threads`.
+    pub fn allow_oversubscription(mut self, on: bool) -> Self {
+        self.allow_oversubscription = on;
+        self
+    }
+
+    /// Serve kernel gathers from the packed varint CSR.
+    pub fn packed_adjacency(mut self, on: bool) -> Self {
+        self.packed_adjacency = on;
+        self
+    }
+
+    /// The worker count the engine stages actually use: the `threads` knob
+    /// resolved (`0` = available parallelism) and — unless
+    /// [`EngineOptions::allow_oversubscription`] — clamped to host cores.
+    pub fn resolved_threads(&self) -> usize {
+        if self.allow_oversubscription {
+            surfer_cluster::par::resolve_threads(self.threads)
+        } else {
+            surfer_cluster::par::resolve_threads_clamped(self.threads)
+        }
     }
 }
 
@@ -89,33 +136,88 @@ struct Outbox<M> {
 /// msg)` pairs in sequential emission order, the per-machine byte row, the
 /// number of `transfer()` calls, and the scan's wall time (0 when no obs
 /// session records).
-type VirtualOutbox<M> = (Vec<(u64, M)>, Vec<u64>, u64, u64);
+pub(crate) type VirtualOutbox<M> = (Vec<(u64, M)>, Vec<u64>, u64, u64);
 
-/// Per-partition cost tally for one iteration.
+/// Per-partition cost tally for one iteration. Shared with the vectorized
+/// kernel lane (`crate::kernel`), which must reproduce it field for field.
 #[derive(Debug, Clone, Default)]
-struct PartitionTally {
+pub(crate) struct PartitionTally {
     /// transfer() invocations (edge scans).
-    transfer_calls: u64,
+    pub(crate) transfer_calls: u64,
     /// Bytes of partition-local intermediate messages.
-    local_bytes: u64,
+    pub(crate) local_bytes: u64,
     /// Bytes of partition-local messages whose destination is an inner
     /// vertex (elided from disk by local propagation).
-    local_inner_bytes: u64,
+    pub(crate) local_inner_bytes: u64,
     /// Outgoing bytes per remote partition (after local combination).
     /// Ordered so the simulated transfer DAG is built identically run to
     /// run (and for any thread count).
-    cross_out: BTreeMap<u32, u64>,
+    pub(crate) cross_out: BTreeMap<u32, u64>,
     /// Messages combined at this partition.
-    combine_msgs: u64,
+    pub(crate) combine_msgs: u64,
     /// Messages whose destination stayed in this partition.
-    local_msgs: u64,
+    pub(crate) local_msgs: u64,
     /// Messages sent across partitions (after local combination).
-    cross_msgs: u64,
+    pub(crate) cross_msgs: u64,
     /// Wall time of this partition's Transfer scan (only measured while an
     /// obs session records; not deterministic).
-    transfer_ns: u64,
+    pub(crate) transfer_ns: u64,
     /// Wall time of this partition's Combine (same caveat).
-    combine_ns: u64,
+    pub(crate) combine_ns: u64,
+}
+
+/// Publish the per-iteration Transfer-stage counters (no-op without an
+/// active obs session). Shared by the scalar and vectorized lanes so both
+/// report through one schema.
+pub(crate) fn publish_transfer_counters(tally: &[PartitionTally], messages: u64) {
+    if !surfer_obs::enabled() {
+        return;
+    }
+    surfer_obs::counter_add("prop.messages", messages);
+    surfer_obs::counter_add("prop.transfer_calls", tally.iter().map(|t| t.transfer_calls).sum());
+    surfer_obs::counter_add("prop.local_bytes", tally.iter().map(|t| t.local_bytes).sum());
+    surfer_obs::counter_add(
+        "prop.local_inner_bytes",
+        tally.iter().map(|t| t.local_inner_bytes).sum(),
+    );
+    surfer_obs::counter_add(
+        "prop.cross_bytes",
+        tally.iter().flat_map(|t| t.cross_out.values()).sum(),
+    );
+    surfer_obs::counter_add("prop.local_msgs", tally.iter().map(|t| t.local_msgs).sum());
+    surfer_obs::counter_add("prop.cross_msgs", tally.iter().map(|t| t.cross_msgs).sum());
+}
+
+/// Publish the per-iteration Combine-stage counters and the flight-recorder
+/// sample (no-op without an active obs session). The P×P traffic matrix
+/// puts partition-local bytes on the diagonal and the post-combination
+/// cross bytes off it, so its diagonal/off-diagonal totals equal
+/// `prop.local_bytes`/`prop.cross_bytes`.
+pub(crate) fn publish_iteration_sample(tally: &[PartitionTally], mailbox_sizes: Vec<u64>) {
+    if !surfer_obs::enabled() {
+        return;
+    }
+    surfer_obs::counter_add("prop.combine_msgs", tally.iter().map(|t| t.combine_msgs).sum());
+    surfer_obs::counter_add("prop.iterations", 1);
+
+    let p = tally.len();
+    let mut sample = surfer_obs::IterationSample::new(surfer_obs::StageKind::Propagation);
+    let mut traffic = surfer_obs::TrafficMatrix::new(p, p);
+    for (pid, t) in tally.iter().enumerate() {
+        traffic.add(pid, pid, t.local_bytes);
+        for (&q, &bytes) in &t.cross_out {
+            traffic.add(pid, q as usize, bytes);
+        }
+        sample.local_msgs += t.local_msgs;
+        sample.cross_msgs += t.cross_msgs;
+        sample.local_bytes += t.local_bytes;
+        sample.cross_bytes += t.cross_out.values().sum::<u64>();
+    }
+    sample.transfer_ns = tally.iter().map(|t| t.transfer_ns).collect();
+    sample.combine_ns = tally.iter().map(|t| t.combine_ns).collect();
+    sample.mailbox = mailbox_sizes;
+    sample.traffic = traffic;
+    surfer_obs::record_sample(sample);
 }
 
 /// The propagation engine bound to a cluster + partitioned graph.
@@ -249,7 +351,7 @@ impl<'a> PropagationEngine<'a> {
         let g = pg.graph();
         let n = g.num_vertices() as usize;
         assert_eq!(state.len(), n, "state vector must cover every vertex");
-        let threads = self.options.threads;
+        let threads = self.options.resolved_threads();
         let merge_cross = self.options.local_combination && prog.associative();
         let enc = pg.encoding();
 
@@ -355,24 +457,7 @@ impl<'a> PropagationEngine<'a> {
                 cursor[slot] += 1;
             }
         }
-        if surfer_obs::enabled() {
-            surfer_obs::counter_add("prop.messages", messages);
-            surfer_obs::counter_add(
-                "prop.transfer_calls",
-                tally.iter().map(|t| t.transfer_calls).sum(),
-            );
-            surfer_obs::counter_add("prop.local_bytes", tally.iter().map(|t| t.local_bytes).sum());
-            surfer_obs::counter_add(
-                "prop.local_inner_bytes",
-                tally.iter().map(|t| t.local_inner_bytes).sum(),
-            );
-            surfer_obs::counter_add(
-                "prop.cross_bytes",
-                tally.iter().flat_map(|t| t.cross_out.values()).sum(),
-            );
-            surfer_obs::counter_add("prop.local_msgs", tally.iter().map(|t| t.local_msgs).sum());
-            surfer_obs::counter_add("prop.cross_msgs", tally.iter().map(|t| t.cross_msgs).sum());
-        }
+        publish_transfer_counters(&tally, messages);
 
         // ---- Combine stage (real, one worker item per partition). ----
         // Split the mailbox into disjoint per-partition slices. Workers take
@@ -431,36 +516,7 @@ impl<'a> PropagationEngine<'a> {
             }
         }
         drop(combine_span);
-        if surfer_obs::enabled() {
-            surfer_obs::counter_add(
-                "prop.combine_msgs",
-                tally.iter().map(|t| t.combine_msgs).sum(),
-            );
-            surfer_obs::counter_add("prop.iterations", 1);
-
-            // Flight recorder: one sample per iteration. The P×P traffic
-            // matrix puts partition-local bytes on the diagonal and the
-            // post-combination cross bytes off it, so its diagonal/off-
-            // diagonal totals equal prop.local_bytes/prop.cross_bytes.
-            let p = tally.len();
-            let mut sample = surfer_obs::IterationSample::new(surfer_obs::StageKind::Propagation);
-            let mut traffic = surfer_obs::TrafficMatrix::new(p, p);
-            for (pid, t) in tally.iter().enumerate() {
-                traffic.add(pid, pid, t.local_bytes);
-                for (&q, &bytes) in &t.cross_out {
-                    traffic.add(pid, q as usize, bytes);
-                }
-                sample.local_msgs += t.local_msgs;
-                sample.cross_msgs += t.cross_msgs;
-                sample.local_bytes += t.local_bytes;
-                sample.cross_bytes += t.cross_out.values().sum::<u64>();
-            }
-            sample.transfer_ns = tally.iter().map(|t| t.transfer_ns).collect();
-            sample.combine_ns = tally.iter().map(|t| t.combine_ns).collect();
-            sample.mailbox = mailbox_sizes;
-            sample.traffic = traffic;
-            surfer_obs::record_sample(sample);
-        }
+        publish_iteration_sample(&tally, mailbox_sizes);
 
         let report = self.simulate(
             prog.transfer_ops(),
@@ -490,8 +546,8 @@ impl<'a> PropagationEngine<'a> {
     }
 
     /// Build and run the simulated task DAG for one iteration given the
-    /// per-partition tallies.
-    fn simulate(
+    /// per-partition tallies. Shared with the vectorized kernel lane.
+    pub(crate) fn simulate(
         &self,
         transfer_ops: f64,
         combine_ops: f64,
@@ -585,7 +641,7 @@ impl<'a> PropagationEngine<'a> {
         let pg = self.graph;
         let g = pg.graph();
         let machines = self.cluster.num_machines();
-        let threads = self.options.threads;
+        let threads = self.options.resolved_threads();
         let merge = self.options.local_combination && task.associative();
 
         // Real transfer + routing, one worker item per partition. Each
@@ -630,6 +686,22 @@ impl<'a> PropagationEngine<'a> {
             })
             .map_err(|e| SurferError::from_worker_panic("virtual-transfer", e))?;
         drop(vt_span);
+        self.finish_virtual(task, transfers)
+    }
+
+    /// Everything after the virtual Transfer stage: obs publication, the
+    /// virtual-id grouping, the real Combine and the simulated DAG. Shared
+    /// with the vectorized virtual lane, which only replaces the transfer
+    /// scan (its outboxes are bit-identical, so everything downstream is
+    /// too).
+    pub(crate) fn finish_virtual<T: VirtualVertexTask>(
+        &self,
+        task: &T,
+        transfers: Vec<VirtualOutbox<T::Msg>>,
+    ) -> SurferResult<(Vec<T::Out>, ExecReport)> {
+        let pg = self.graph;
+        let machines = self.cluster.num_machines();
+        let threads = self.options.resolved_threads();
         if surfer_obs::enabled() {
             surfer_obs::counter_add(
                 "virt.messages",

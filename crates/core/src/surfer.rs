@@ -59,6 +59,7 @@ pub struct SurferBuilder {
     optimization: OptimizationLevel,
     bisect: BisectConfig,
     threads: usize,
+    vectorized: bool,
 }
 
 impl SurferBuilder {
@@ -67,6 +68,13 @@ impl SurferBuilder {
     /// identical for any value.
     pub fn threads(mut self, threads: usize) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Toggle the columnar kernel lane for vectorized programs (on by
+    /// default; results are bit-identical either way).
+    pub fn vectorized(mut self, on: bool) -> Self {
+        self.vectorized = on;
         self
     }
 
@@ -111,6 +119,7 @@ impl SurferBuilder {
             placed,
             optimization: self.optimization,
             threads: self.threads,
+            vectorized: self.vectorized,
         }
     }
 
@@ -124,6 +133,7 @@ impl SurferBuilder {
             placed,
             optimization: self.optimization,
             threads: self.threads,
+            vectorized: self.vectorized,
         }
     }
 }
@@ -137,6 +147,7 @@ pub struct Surfer {
     placed: PlacedPartitioning,
     optimization: OptimizationLevel,
     threads: usize,
+    vectorized: bool,
 }
 
 impl Surfer {
@@ -148,6 +159,7 @@ impl Surfer {
             optimization: OptimizationLevel::O4,
             bisect: BisectConfig::default(),
             threads: 0,
+            vectorized: true,
         }
     }
 
@@ -176,12 +188,15 @@ impl Surfer {
         self.optimization
     }
 
-    /// A propagation engine honoring the optimization level and thread knob.
+    /// A propagation engine honoring the optimization level, thread knob
+    /// and kernel-lane toggle.
     pub fn propagation(&self) -> PropagationEngine<'_> {
         PropagationEngine::new(
             &self.cluster,
             &self.pg,
-            EngineOptions::from_level(self.optimization).threads(self.threads),
+            EngineOptions::from_level(self.optimization)
+                .threads(self.threads)
+                .vectorized(self.vectorized),
         )
     }
 

@@ -115,7 +115,14 @@ fn option_matrix() -> Vec<EngineOptions> {
     let mut m = Vec::new();
     for lp in [false, true] {
         for lc in [false, true] {
-            m.push(EngineOptions { local_propagation: lp, local_combination: lc, threads: 1 });
+            m.push(
+                EngineOptions {
+                    local_propagation: lp,
+                    local_combination: lc,
+                    ..EngineOptions::none()
+                }
+                .threads(1),
+            );
         }
     }
     m

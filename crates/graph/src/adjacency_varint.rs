@@ -111,6 +111,141 @@ pub fn compression_ratio(g: &CsrGraph) -> f64 {
     encode_graph_compressed(g).len() as f64 / plain
 }
 
+/// In-memory bit-packed CSR: delta + varint neighbor streams with random
+/// access per vertex.
+///
+/// Where [`encode_graph_compressed`] is a sequential on-wire record stream,
+/// `PackedCsr` is the engine-facing layout: vertex ids are implicit (dense
+/// `0..n`), degrees live in a flat `u32` column, and a per-vertex byte
+/// offset indexes the shared varint stream, so a kernel can gather any
+/// vertex's adjacency in O(degree) without scanning predecessors.
+///
+/// Stream layout per vertex: `varint(n0) varint(n1 - n0) ...` — the first
+/// neighbor absolute, then plain gaps (not gap-minus-one), so duplicate
+/// edges survive a round-trip byte-exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PackedCsr {
+    /// Out-degree per vertex.
+    degrees: Vec<u32>,
+    /// `stream[starts[v] .. starts[v+1]]` is vertex `v`'s varint run.
+    starts: Vec<u64>,
+    /// Concatenated delta/varint neighbor runs.
+    stream: Vec<u8>,
+}
+
+/// Decode one LEB128 value from `bytes` at `*cursor`, advancing the cursor.
+///
+/// Infallible by construction: a truncated or overlong run simply stops at
+/// the slice end (builders in this module never produce one; round-trip
+/// tests pin that).
+#[inline]
+fn read_varint_at(bytes: &[u8], cursor: &mut usize) -> u64 {
+    let mut out = 0u64;
+    let mut shift = 0u32;
+    while let Some(&byte) = bytes.get(*cursor) {
+        *cursor += 1;
+        out |= ((byte & 0x7F) as u64) << shift;
+        if byte & 0x80 == 0 {
+            break;
+        }
+        shift += 7;
+        if shift >= 64 {
+            break;
+        }
+    }
+    out
+}
+
+impl PackedCsr {
+    /// Pack a CSR graph's adjacency into the delta/varint layout.
+    pub fn from_csr(g: &CsrGraph) -> PackedCsr {
+        let n = g.num_vertices() as usize;
+        let mut degrees = Vec::with_capacity(n);
+        let mut starts = Vec::with_capacity(n + 1);
+        let mut buf = BytesMut::with_capacity(g.num_edges() as usize * 2);
+        starts.push(0u64);
+        for v in g.vertices() {
+            let nbrs = g.neighbors(v);
+            degrees.push(nbrs.len() as u32);
+            let mut prev = 0u64;
+            for (i, &t) in nbrs.iter().enumerate() {
+                let raw = t.0 as u64;
+                if i == 0 {
+                    put_varint(&mut buf, raw);
+                } else {
+                    // Sorted lists guarantee raw >= prev; encode the gap.
+                    put_varint(&mut buf, raw - prev);
+                }
+                prev = raw;
+            }
+            starts.push(buf.len() as u64);
+        }
+        PackedCsr { degrees, starts, stream: buf.to_vec() }
+    }
+
+    /// Number of vertices.
+    #[inline]
+    pub fn num_vertices(&self) -> u32 {
+        self.degrees.len() as u32
+    }
+
+    /// Number of directed edges.
+    pub fn num_edges(&self) -> u64 {
+        self.degrees.iter().map(|&d| d as u64).sum()
+    }
+
+    /// Out-degree of `v`.
+    #[inline]
+    pub fn out_degree(&self, v: VertexId) -> u32 {
+        self.degrees[v.index()]
+    }
+
+    /// Decode `v`'s neighbor list into `out` (cleared first). The scratch
+    /// vector lets hot loops reuse one allocation across vertices.
+    #[inline]
+    pub fn decode_into(&self, v: VertexId, out: &mut Vec<VertexId>) {
+        out.clear();
+        let d = self.degrees[v.index()] as usize;
+        if d == 0 {
+            return;
+        }
+        let run = &self.stream[self.starts[v.index()] as usize..self.starts[v.index() + 1] as usize];
+        let mut cursor = 0usize;
+        let mut prev = 0u64;
+        for i in 0..d {
+            let raw = read_varint_at(run, &mut cursor);
+            let value = if i == 0 { raw } else { prev + raw };
+            out.push(VertexId(value as u32));
+            prev = value;
+        }
+    }
+
+    /// Bytes of the packed neighbor stream (the payload the varint coding
+    /// shrinks; compare against 4 bytes/edge raw CSR targets).
+    pub fn packed_stream_bytes(&self) -> u64 {
+        self.stream.len() as u64
+    }
+
+    /// Bytes the same adjacency occupies as raw CSR targets (4 per edge).
+    pub fn raw_target_bytes(&self) -> u64 {
+        4 * self.num_edges()
+    }
+
+    /// Rebuild the full CSR graph (for round-trip validation).
+    pub fn to_csr(&self) -> crate::Result<CsrGraph> {
+        let mut offsets = Vec::with_capacity(self.degrees.len() + 1);
+        offsets.push(0u64);
+        let mut targets = Vec::with_capacity(self.num_edges() as usize);
+        let mut scratch = Vec::new();
+        for i in 0..self.degrees.len() {
+            self.decode_into(VertexId(i as u32), &mut scratch);
+            targets.extend_from_slice(&scratch);
+            offsets.push(targets.len() as u64);
+        }
+        CsrGraph::from_raw_parts(offsets, targets)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -173,5 +308,48 @@ mod tests {
         let blob = encode_graph_compressed(&g);
         // Drop the first record's bytes: ids now start at the wrong value.
         assert!(decode_graph_compressed(&blob[1..]).is_err());
+    }
+
+    #[test]
+    fn packed_csr_roundtrips_exactly() {
+        let g = from_edges(6, [(0, 1), (0, 5), (2, 3), (2, 4), (5, 0)]);
+        let p = PackedCsr::from_csr(&g);
+        assert_eq!(p.num_vertices(), 6);
+        assert_eq!(p.num_edges(), 5);
+        assert_eq!(p.out_degree(VertexId(0)), 2);
+        assert_eq!(p.to_csr().unwrap(), g);
+    }
+
+    #[test]
+    fn packed_csr_decode_into_matches_neighbors() {
+        let g = msn_like(MsnScale::Tiny, 7);
+        let p = PackedCsr::from_csr(&g);
+        let mut scratch = Vec::new();
+        for v in g.vertices() {
+            p.decode_into(v, &mut scratch);
+            assert_eq!(scratch.as_slice(), g.neighbors(v), "vertex {v:?}");
+        }
+    }
+
+    #[test]
+    fn packed_csr_shrinks_social_adjacency() {
+        let g = msn_like(MsnScale::Tiny, 42);
+        let p = PackedCsr::from_csr(&g);
+        assert!(
+            p.packed_stream_bytes() < p.raw_target_bytes(),
+            "varint stream ({}) should beat raw targets ({})",
+            p.packed_stream_bytes(),
+            p.raw_target_bytes()
+        );
+        assert_eq!(p.to_csr().unwrap(), g);
+    }
+
+    #[test]
+    fn packed_csr_empty_and_edgeless() {
+        let g = from_edges(4, []);
+        let p = PackedCsr::from_csr(&g);
+        assert_eq!(p.num_edges(), 0);
+        assert_eq!(p.packed_stream_bytes(), 0);
+        assert_eq!(p.to_csr().unwrap(), g);
     }
 }

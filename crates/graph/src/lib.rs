@@ -34,6 +34,7 @@ pub mod properties;
 pub mod subgraph;
 pub mod vertex;
 
+pub use adjacency_varint::PackedCsr;
 pub use builder::GraphBuilder;
 pub use csr::CsrGraph;
 pub use edge::Edge;

@@ -207,3 +207,46 @@ fn cascaded_and_recovery_match_plain_engine_bit_exactly() {
         assert_eq!(bits(&plain), bits(&recovered), "recovery path diverged at threads={t}");
     }
 }
+
+/// Kernel-lane conformance: the four apps migrated to the columnar fast
+/// path ([`surfer::core::VectorizedProgram`] /
+/// [`surfer::core::VectorizedVirtualTask`]) must produce bit-identical
+/// outputs **and** `ExecReport`s whether the vectorized lane is on (the
+/// default) or forced off via [`Surfer::builder`]'s `vectorized(false)` —
+/// at both ends of the optimization ladder, across the thread sweep.
+#[test]
+fn vectorized_lane_matches_scalar_lane_bit_exactly() {
+    fn lanes<A>(g: &CsrGraph, app: &A)
+    where
+        A: SurferApp,
+        A::Output: Debug,
+    {
+        for level in [OptimizationLevel::O1, OptimizationLevel::O4] {
+            for &t in &thread_sweep() {
+                let mut rendered: Vec<String> = Vec::new();
+                for on in [true, false] {
+                    let cluster = ClusterConfig::tree(2, 1, 8).build();
+                    let surfer = Surfer::builder(cluster)
+                        .partitions(PARTITIONS)
+                        .optimization(level)
+                        .threads(t)
+                        .vectorized(on)
+                        .load(g);
+                    let run = surfer.run(app).expect("lane run");
+                    rendered.push(format!("{:?} | {:?}", run.output, run.report));
+                }
+                assert_eq!(
+                    rendered[0], rendered[1],
+                    "{} kernel lane diverged from scalar lane at {level:?} threads={t}",
+                    app.name(),
+                );
+            }
+        }
+    }
+
+    let g = graph();
+    lanes(&g, &NetworkRanking::new(4));
+    lanes(&g.symmetrize(), &ConnectedComponents::new());
+    lanes(&g, &BreadthFirstSearch::from_source(VertexId(0)));
+    lanes(&g, &VertexDegreeDistribution);
+}
