@@ -7,14 +7,18 @@
 //! ```
 //!
 //! Subcommands: all, table1, table2, table3, table4, table5, fig6, fig7,
-//! fig9, fig10, fig11, fig12, cascade, bench, chaos, profile, perfetto,
-//! baseline, gate. Options: `--scale tiny|small|medium|large` (default
-//! small), `--machines N` (default 32), `--partitions P` (default 64).
+//! fig9, fig10, fig11, fig12, cascade, bench, chaos, serve, profile,
+//! perfetto, baseline, gate. Options: `--scale tiny|small|medium|large`
+//! (default small), `--machines N` (default 32), `--partitions P` (default
+//! 64).
 //!
 //! `bench` measures host wall-clock of the real propagation computation at
 //! worker-thread counts {1, 2, max} and writes `BENCH_propagation.json`.
 //! `chaos` additionally measures checkpoint + crash-recovery overhead and
-//! splices the result into the same JSON document. `profile` records a
+//! splices the result into the same JSON document. `serve` drives the
+//! multi-tenant serving layer under a seeded open-loop arrival process and
+//! writes `BENCH_serve.json` (throughput, admission counters, per-tenant
+//! latency). `profile` records a
 //! `surfer-obs` trace of the real execution path (propagation, MapReduce,
 //! checkpoint/restore, replica I/O), writes `TRACE_profile.json`, prints a
 //! per-thread span Gantt, and exits non-zero on schema drift (after printing
@@ -70,6 +74,7 @@ fn main() {
         cmd.as_str(),
         "all" | "table1" | "table2" | "table3" | "fig6" | "fig7" | "fig9" | "fig10" | "fig12"
             | "cascade" | "bench" | "chaos" | "profile" | "perfetto" | "gate" | "baseline"
+            | "serve"
     );
     let workload = needs_workload.then(|| {
         eprintln!("# generating + partitioning the MSN-like graph ...");
@@ -164,6 +169,21 @@ fn main() {
             }
             println!("{}", r.json);
         }
+        "serve" => {
+            let r = serve::run(w.expect("workload"));
+            eprintln!(
+                "# serve: {} offered, {} completed, {} rejected (typed back-pressure), \
+                 {:.1} jobs/s simulated",
+                serve::ARRIVALS,
+                r.completed,
+                r.rejected,
+                r.jobs_per_sec
+            );
+            std::fs::write("BENCH_serve.json", &r.json)
+                .unwrap_or_else(|e| die(&format!("writing BENCH_serve.json: {e}")));
+            eprintln!("# wrote BENCH_serve.json");
+            println!("{}", r.json);
+        }
         "perfetto" => {
             let r = perfetto::run(w.expect("workload"));
             std::fs::write("TRACE_perfetto.json", &r.json)
@@ -250,7 +270,7 @@ fn main() {
             );
         }
         other => die(&format!(
-            "unknown experiment '{other}' (all|table1..table5|fig6|fig7|fig9|fig10|fig11|fig12|cascade|ablation|bench|chaos|profile|perfetto|baseline|gate|lint|lint-baseline)"
+            "unknown experiment '{other}' (all|table1..table5|fig6|fig7|fig9|fig10|fig11|fig12|cascade|ablation|bench|chaos|serve|profile|perfetto|baseline|gate|lint|lint-baseline)"
         )),
     };
 

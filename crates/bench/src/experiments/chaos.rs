@@ -94,7 +94,7 @@ pub fn run(w: &Workload) -> (ChaosResult, String) {
     let plan = FaultPlan {
         crashes: vec![MachineCrash { machine: victim, at_iteration: ITERATIONS / 2 }],
         udf_panics: vec![UdfPanicAt { iteration: 1, vertex: 0 }],
-        corruptions: vec![],
+        ..FaultPlan::none()
     };
     let mut chaos_state = engine.init_state(&prog);
     // lint:allow(D2, host wall-clock is the measurement itself here)

@@ -43,6 +43,11 @@ pub fn snapshot(report: &TraceReport) -> Snapshot {
     for (k, h) in &report.hists {
         s.insert(format!("{k}.count"), h.count);
     }
+    // Labeled histograms (e.g. per-tenant serving latency) pin their shape
+    // per label, under the same dotted names the JSON export uses.
+    for ((k, l), h) in &report.labeled_hists {
+        s.insert(format!("{k}.{l}.count"), h.count);
+    }
     let m = report.traffic_matrix();
     s.insert("traffic.local_bytes".into(), m.diagonal_total());
     s.insert("traffic.cross_bytes".into(), m.off_diagonal_total());
@@ -212,6 +217,12 @@ mod tests {
         assert!(snap.contains_key("prop.messages"));
         assert!(snap.contains_key("traffic.cross_bytes"));
         assert!(snap.contains_key("part.edge_cut_ratio_e6"));
+        assert!(snap.contains_key("serve.admitted"), "serve counters are gated");
+        assert!(
+            snap.contains_key("serve.tenant.latency_us.0.count"),
+            "labeled histogram shapes are gated: {:?}",
+            snap.keys().filter(|k| k.starts_with("serve.")).collect::<Vec<_>>()
+        );
         let doc = render_baseline(&w, &snap);
         let parsed = parse_baseline(&doc).expect("round trip");
         assert_eq!(parsed.metrics, snap, "parse must invert render");

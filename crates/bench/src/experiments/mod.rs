@@ -19,6 +19,7 @@ pub mod gate;
 pub mod lint;
 pub mod perfetto;
 pub mod profile;
+pub mod serve;
 pub mod table1;
 pub mod table2_3;
 pub mod table4;

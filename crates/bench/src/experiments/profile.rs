@@ -1,7 +1,7 @@
 //! `reproduce -- profile`: a per-stage wall-time/bytes breakdown of the
 //! *real* execution path, captured with `surfer-obs`.
 //!
-//! One recording session covers the four instrumented subsystems:
+//! One recording session covers the five instrumented subsystems:
 //!
 //! 1. **Propagation** — PageRank iterations through the O4 engine
 //!    (Transfer/Combine stages, per-partition worker spans);
@@ -10,7 +10,11 @@
 //!    machine crash, exercising snapshot writes, replica failover and tail
 //!    recomputation;
 //! 4. **Replica I/O** — a partitioned-graph store round-trip through
-//!    `surfer_partition::store_fs`.
+//!    `surfer_partition::store_fs`;
+//! 5. **Serving** — a deterministic two-tenant `JobManager` session
+//!    (admission, fair-share dispatch, one result-cache hit), so the
+//!    `serve.*` counters and per-tenant latency histograms are pinned by
+//!    the same metrics gate.
 //!
 //! The result is exported as `TRACE_profile.json` next to
 //! `BENCH_propagation.json` and validated against the expected schema —
@@ -21,9 +25,12 @@ use crate::Workload;
 use surfer_apps::pagerank::PageRankPropagation;
 use surfer_apps::VertexDegreeDistribution;
 use surfer_cluster::{render_span_gantt, FaultPlan, MachineCrash};
-use surfer_core::{run_with_recovery, EngineOptions, OptimizationLevel, RecoveryConfig};
+use surfer_core::{
+    run_with_recovery, EngineOptions, OptimizationLevel, PropagationEngine, RecoveryConfig,
+};
 use surfer_obs::{ObsSession, TraceReport, SCHEMA_VERSION};
 use surfer_partition::{load_partitioned, sketch_quality, write_partitioned, SketchQuality};
+use surfer_serve::{CacheKey, JobManager, JobSpec, PropagationJob, ServeConfig, TenantId};
 
 /// Propagation iterations of the profiled job.
 pub const ITERATIONS: u32 = 4;
@@ -90,8 +97,7 @@ pub fn run(w: &Workload) -> ProfileResult {
     let cfg = RecoveryConfig::new(CKPT_INTERVAL, &dir);
     let plan = FaultPlan {
         crashes: vec![MachineCrash { machine: pg.machine_of(0), at_iteration: ITERATIONS / 2 }],
-        udf_panics: vec![],
-        corruptions: vec![],
+        ..FaultPlan::none()
     };
     let mut rec_state = engine.init_state(&prog);
     run_with_recovery(
@@ -111,6 +117,40 @@ pub fn run(w: &Workload) -> ProfileResult {
     write_partitioned(&store_dir, pg).expect("store write");
     load_partitioned(&store_dir).expect("store load");
     let _ = std::fs::remove_dir_all(&dir);
+
+    // 5. The serving layer: a deterministic two-tenant mini-session so the
+    // `serve.*` admission counters and (per-tenant) latency histograms land
+    // in the same trace and the same regression gate. Two distinct cached
+    // queries run to completion, then a repeat of the first is answered
+    // from the result cache.
+    let mut jm = JobManager::new(ServeConfig::default());
+    let key = |iters: u32| CacheKey {
+        app: "pagerank-profile",
+        graph_version: w.cfg.seed,
+        params: u64::from(iters),
+    };
+    for (tenant, iters) in [(0u16, 2u32), (1, 1)] {
+        jm.submit(
+            JobSpec::new(TenantId(tenant)).cached_as(key(iters)),
+            Box::new(PropagationJob::new(
+                PropagationEngine::new(cluster, pg, EngineOptions::full()),
+                &prog,
+                iters,
+            )),
+        )
+        .expect("serve submit");
+    }
+    jm.run_to_completion();
+    jm.submit(
+        JobSpec::new(TenantId(0)).cached_as(key(2)),
+        Box::new(PropagationJob::new(
+            PropagationEngine::new(cluster, pg, EngineOptions::full()),
+            &prog,
+            2,
+        )),
+    )
+    .expect("serve cache-hit submit");
+    jm.run_to_completion();
 
     let report = session.finish();
     let placement: Vec<u16> = pg.placement().iter().map(|m| m.0).collect();
@@ -216,6 +256,12 @@ pub const REQUIRED_KEYS: &[&str] = &[
     // Executor accounting.
     "\"exec.tasks\"",
     "\"exec.net_bytes\"",
+    // Serving (the labeled per-tenant histogram exports as
+    // `serve.tenant.latency_us.<tenant>`, hence the open-ended key).
+    "\"serve.admitted\"",
+    "\"serve.cache_hits\"",
+    "\"serve.latency_us\"",
+    "\"serve.tenant.latency_us.",
 ];
 
 /// Validate an exported profile document. Returns every missing key plus a
@@ -256,6 +302,12 @@ mod tests {
         assert!(r.report.counter("ckpt.restores") > 0, "crash must trigger a restore");
         assert!(r.report.counter("fs.part.write_bytes") > 0, "store writes instrumented");
         assert!(r.report.counter("fs.snapshot.read_bytes") > 0, "snapshot reads instrumented");
+        assert_eq!(r.report.counter("serve.admitted"), 3, "serving mini-session instrumented");
+        assert_eq!(r.report.counter("serve.cache_hits"), 1, "repeat query must hit the cache");
+        assert!(
+            r.report.labeled_hist("serve.tenant.latency_us", 0).is_some(),
+            "per-tenant latency recorded"
+        );
         assert!(r.report.span_count("prop.iteration") > 0);
         let samples = r.report.samples_of(surfer_obs::StageKind::Propagation).count();
         assert!(samples >= ITERATIONS as usize, "one flight-recorder sample per iteration");

@@ -46,6 +46,22 @@ pub struct SnapshotCorruption {
     pub replica: usize,
 }
 
+/// The snapshot write of `partition` at checkpoint iteration `checkpoint`
+/// fails transiently `failures` times before succeeding — the disk-hiccup /
+/// lease-timeout class of fault. Unlike [`SnapshotCorruption`] (detected at
+/// restore), a write failure is detected *immediately* and retried with
+/// backoff; only when the retry budget is exhausted does it surface as a
+/// typed `RetriesExhausted` error.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SnapshotWriteFailure {
+    /// Iteration number stamped on the checkpoint whose write hiccups.
+    pub checkpoint: u32,
+    /// Partition whose snapshot write fails.
+    pub partition: u32,
+    /// Consecutive failed attempts before the write goes through.
+    pub failures: u32,
+}
+
 /// A full failure schedule for one job run. Empty plan = fault-free run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {
@@ -55,6 +71,8 @@ pub struct FaultPlan {
     pub udf_panics: Vec<UdfPanicAt>,
     /// Checksum-detectable snapshot corruptions.
     pub corruptions: Vec<SnapshotCorruption>,
+    /// Transient (retryable) snapshot-write failures.
+    pub write_failures: Vec<SnapshotWriteFailure>,
 }
 
 impl FaultPlan {
@@ -65,7 +83,10 @@ impl FaultPlan {
 
     /// True if the plan injects nothing.
     pub fn is_empty(&self) -> bool {
-        self.crashes.is_empty() && self.udf_panics.is_empty() && self.corruptions.is_empty()
+        self.crashes.is_empty()
+            && self.udf_panics.is_empty()
+            && self.corruptions.is_empty()
+            && self.write_failures.is_empty()
     }
 
     /// Machines scheduled to crash at the start of `iteration`, in plan
@@ -85,6 +106,17 @@ impl FaultPlan {
         self.corruptions
             .iter()
             .any(|c| c.checkpoint == checkpoint && c.partition == partition && c.replica == replica)
+    }
+
+    /// How many consecutive write attempts of `partition`'s snapshot at
+    /// checkpoint iteration `checkpoint` fail transiently (0 = the write
+    /// succeeds first try).
+    pub fn write_failures_for(&self, checkpoint: u32, partition: u32) -> u32 {
+        self.write_failures
+            .iter()
+            .filter(|f| f.checkpoint == checkpoint && f.partition == partition)
+            .map(|f| f.failures)
+            .sum()
     }
 
     /// A seeded random plan for a job of `iterations` iterations over
@@ -137,6 +169,18 @@ impl FaultPlan {
                 replica: 0, // damage the primary copy; siblings survive
             });
         }
+
+        // Transient write hiccups: at most 2 consecutive failures, well
+        // under the default retry budget of 3, so random plans stay
+        // survivable by construction. (Drawn last: earlier fields of a
+        // given seed are unchanged by this extension.)
+        if partitions > 0 && rng.gen_bool(0.5) {
+            plan.write_failures.push(SnapshotWriteFailure {
+                checkpoint: 0, // checkpoint 0 always exists
+                partition: rng.gen_range(0..partitions),
+                failures: rng.gen_range(1..3),
+            });
+        }
         plan
     }
 }
@@ -165,6 +209,12 @@ mod tests {
             for c in &plan.corruptions {
                 assert_eq!(c.replica, 0, "seed {seed}: only primary copies corrupt");
             }
+            for f in &plan.write_failures {
+                assert!(
+                    (1..=2).contains(&f.failures),
+                    "seed {seed}: write hiccups must stay under the retry budget"
+                );
+            }
         }
     }
 
@@ -178,14 +228,23 @@ mod tests {
             ],
             udf_panics: vec![UdfPanicAt { iteration: 1, vertex: 42 }],
             corruptions: vec![SnapshotCorruption { checkpoint: 0, partition: 3, replica: 1 }],
+            write_failures: vec![SnapshotWriteFailure { checkpoint: 2, partition: 1, failures: 2 }],
         };
         assert_eq!(plan.crashes_at(2).collect::<Vec<_>>(), vec![MachineId(1), MachineId(3)]);
         assert_eq!(plan.crashes_at(0).count(), 0);
         assert_eq!(plan.panics_at(1).collect::<Vec<_>>(), vec![42]);
         assert!(plan.corrupts(0, 3, 1));
         assert!(!plan.corrupts(0, 3, 0));
+        assert_eq!(plan.write_failures_for(2, 1), 2);
+        assert_eq!(plan.write_failures_for(2, 0), 0);
+        assert_eq!(plan.write_failures_for(0, 1), 0);
         assert!(!plan.is_empty());
         assert!(FaultPlan::none().is_empty());
+        let only_hiccup = FaultPlan {
+            write_failures: vec![SnapshotWriteFailure { checkpoint: 0, partition: 0, failures: 1 }],
+            ..FaultPlan::none()
+        };
+        assert!(!only_hiccup.is_empty(), "write hiccups alone are still a non-empty plan");
     }
 
     #[test]

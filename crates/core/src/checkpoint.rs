@@ -26,8 +26,8 @@ use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::Mutex;
 use surfer_cluster::{
-    ExecReport, Executor, Fault, FaultPlan, MachineId, PartitionStore, SimCluster, SimTime,
-    TaskKind, TaskSpec,
+    ExecReport, Executor, Fault, FaultPlan, MachineId, PartitionStore, SimCluster, SimDuration,
+    SimTime, TaskKind, TaskSpec,
 };
 use surfer_graph::{CsrGraph, GraphError, VertexId};
 use surfer_partition::{read_snapshot, write_snapshot, PartitionedGraph};
@@ -143,13 +143,27 @@ pub struct RecoveryConfig {
     /// How many times a failed iteration is retried after a UDF panic
     /// before the job gives up with [`SurferError::RetriesExhausted`].
     pub max_udf_retries: u32,
+    /// How many times a transiently failed snapshot write is retried before
+    /// the job gives up with [`SurferError::RetriesExhausted`].
+    pub max_snapshot_write_retries: u32,
+    /// Simulated wait before the first snapshot-write retry; doubles on
+    /// every further attempt (deterministic — no wall-clock involved).
+    pub snapshot_retry_backoff: SimDuration,
 }
 
 impl RecoveryConfig {
-    /// Checkpoint every `interval` iterations under `dir`, with 3 retries.
+    /// Checkpoint every `interval` iterations under `dir`, with 3 retries
+    /// for both UDF panics and transient snapshot-write failures (10 ms of
+    /// simulated backoff before the first write retry, doubling after).
     pub fn new(interval: u32, dir: impl Into<PathBuf>) -> Self {
         assert!(interval >= 1, "checkpoint interval must be at least 1");
-        RecoveryConfig { checkpoint_interval: interval, dir: dir.into(), max_udf_retries: 3 }
+        RecoveryConfig {
+            checkpoint_interval: interval,
+            dir: dir.into(),
+            max_udf_retries: 3,
+            max_snapshot_write_retries: 3,
+            snapshot_retry_backoff: SimDuration(10_000),
+        }
     }
 }
 
@@ -169,6 +183,8 @@ pub struct RecoveryStats {
     pub corrupt_snapshots: u32,
     /// Iterations re-run after a UDF panic.
     pub udf_retries: u32,
+    /// Snapshot writes re-attempted after a transient write failure.
+    pub snapshot_write_retries: u32,
     /// Machines that fail-stopped during the job.
     pub machine_crashes: u32,
     /// Iterations recomputed between the restored checkpoint and the crash
@@ -464,8 +480,29 @@ fn write_checkpoint<S: Checkpointable>(
     type CkptSpec = (MachineId, u64, Vec<(MachineId, u64)>);
     let mut specs: Vec<CkptSpec> = Vec::new();
     let mut sample = surfer_obs::IterationSample::new(surfer_obs::StageKind::Checkpoint);
+    // Simulated wait accumulated by transient write-failure retries
+    // (exponential backoff: base, 2·base, 4·base, …).
+    let mut backoff_wait = SimDuration::ZERO;
     for pid in cur.partitions() {
         let t0 = surfer_obs::stopwatch();
+        // Transient write failures are detected immediately (unlike
+        // corruption, which only surfaces at restore): the plan says how
+        // many consecutive attempts hiccup before one goes through. Each
+        // retry waits an exponentially growing simulated backoff; a hiccup
+        // streak longer than the retry budget fails the job as a typed
+        // error, never a panic.
+        let hiccups = plan.write_failures_for(iteration, pid);
+        if hiccups > cfg.max_snapshot_write_retries {
+            return Err(SurferError::RetriesExhausted {
+                iteration,
+                attempts: cfg.max_snapshot_write_retries + 1,
+            });
+        }
+        for attempt in 0..hiccups {
+            backoff_wait += SimDuration(cfg.snapshot_retry_backoff.0 << attempt);
+            stats.snapshot_write_retries += 1;
+            surfer_obs::counter_add("ckpt.snapshot_write_retries", 1);
+        }
         let mut payload = Vec::new();
         for &v in &cur.meta(pid).members {
             state[v.index()].write_to(&mut payload);
@@ -523,7 +560,11 @@ fn write_checkpoint<S: Checkpointable>(
             ex.add_transfer(src, dst, *bytes);
         }
     }
-    Ok(ex.run())
+    let mut report = ex.run();
+    // Retried writes serialize behind their backoff waits on the driver's
+    // critical path; the cluster does no extra work while waiting.
+    report.response_time += backoff_wait;
+    Ok(report)
 }
 
 /// Reload every partition's checkpoint-`iteration` snapshot into `state`
@@ -716,7 +757,7 @@ mod tests {
         let plan = FaultPlan {
             crashes: vec![MachineCrash { machine: MachineId(0), at_iteration: 3 }],
             udf_panics: vec![UdfPanicAt { iteration: 1, vertex: 2 }],
-            corruptions: vec![],
+            ..FaultPlan::none()
         };
         let cfg = RecoveryConfig::new(2, tmp("crash"));
         let mut state = engine.init_state(&Rotate);
@@ -748,9 +789,8 @@ mod tests {
         // retry budget of a single iteration is irrelevant — instead cap
         // retries at 0 and poison iteration 0 once.
         let plan = FaultPlan {
-            crashes: vec![],
             udf_panics: vec![UdfPanicAt { iteration: 0, vertex: 1 }],
-            corruptions: vec![],
+            ..FaultPlan::none()
         };
         let mut cfg = RecoveryConfig::new(4, tmp("retries"));
         cfg.max_udf_retries = 0;

@@ -9,6 +9,7 @@
 
 use surfer_cluster::exec::ClusterLost;
 use surfer_cluster::par::WorkerPanic;
+use surfer_cluster::{SimDuration, SimTime};
 use surfer_graph::GraphError;
 use surfer_mapreduce::MapReduceError;
 
@@ -60,6 +61,37 @@ pub enum SurferError {
         /// The primitive it lacks (`"mapreduce"`, `"propagation"`).
         primitive: &'static str,
     },
+    /// The serving layer's global admitted-job capacity is full; the
+    /// submission was rejected *immediately* (bounded queueing, never
+    /// unbounded buffering). Back-pressure, not failure: resubmit after the
+    /// hint.
+    Overloaded {
+        /// Jobs currently admitted and unfinished.
+        in_flight: u32,
+        /// The global admission capacity that was hit.
+        capacity: u32,
+        /// Deterministic resubmission hint derived from observed service
+        /// times (simulated time — never wall-clock).
+        retry_after_hint: SimDuration,
+    },
+    /// The submitting tenant is at its per-tenant admission quota; other
+    /// tenants' headroom is unaffected (fair-share isolation).
+    QuotaExceeded {
+        /// The tenant that hit its quota.
+        tenant: u16,
+        /// The tenant's admitted-and-unfinished jobs.
+        in_flight: u32,
+        /// The per-tenant quota that was hit.
+        quota: u32,
+    },
+    /// The job's deadline passed before it finished; partial work was
+    /// discarded and its admission slot released.
+    DeadlineExceeded {
+        /// The job's deadline (simulated time since serve-node start).
+        deadline: SimTime,
+        /// The simulated clock when the expiry was detected.
+        now: SimTime,
+    },
 }
 
 /// Shorthand result over [`SurferError`].
@@ -85,6 +117,18 @@ impl std::fmt::Display for SurferError {
             SurferError::MapReduce(e) => write!(f, "mapreduce job failed: {e}"),
             SurferError::Unsupported { app, primitive } => {
                 write!(f, "app '{app}' does not implement the {primitive} primitive")
+            }
+            SurferError::Overloaded { in_flight, capacity, retry_after_hint } => write!(
+                f,
+                "serving queue at capacity ({in_flight}/{capacity} jobs in flight); \
+                 retry after {retry_after_hint}"
+            ),
+            SurferError::QuotaExceeded { tenant, in_flight, quota } => write!(
+                f,
+                "tenant {tenant} is at its admission quota ({in_flight}/{quota} jobs in flight)"
+            ),
+            SurferError::DeadlineExceeded { deadline, now } => {
+                write!(f, "job missed its deadline ({deadline:?}, now {now:?})")
             }
         }
     }
@@ -135,6 +179,12 @@ impl SurferError {
     pub fn is_retryable(&self) -> bool {
         matches!(self, SurferError::UdfPanic { .. })
     }
+
+    /// Is this admission back-pressure (the job was never started — safe to
+    /// resubmit verbatim once capacity frees up)?
+    pub fn is_backpressure(&self) -> bool {
+        matches!(self, SurferError::Overloaded { .. } | SurferError::QuotaExceeded { .. })
+    }
 }
 
 #[cfg(test)]
@@ -161,6 +211,28 @@ mod tests {
         assert!(!SurferError::ClusterLost.is_retryable());
         assert!(!SurferError::ReplicasExhausted { partition: 0, iteration: 0 }.is_retryable());
         assert!(!SurferError::Unsupported { app: "x", primitive: "mapreduce" }.is_retryable());
+    }
+
+    #[test]
+    fn backpressure_errors_are_typed_and_carry_hints() {
+        let e = SurferError::Overloaded {
+            in_flight: 8,
+            capacity: 8,
+            retry_after_hint: SimDuration(250_000),
+        };
+        assert!(e.is_backpressure());
+        assert!(!e.is_retryable(), "back-pressure is resubmit-later, not retry-in-place");
+        assert!(e.to_string().contains("8/8"));
+        assert!(e.to_string().contains("0.250s"), "{e}");
+
+        let e = SurferError::QuotaExceeded { tenant: 3, in_flight: 2, quota: 2 };
+        assert!(e.is_backpressure());
+        assert!(e.to_string().contains("tenant 3"));
+        assert!(e.to_string().contains("2/2"));
+
+        let e = SurferError::DeadlineExceeded { deadline: SimTime(5), now: SimTime(9) };
+        assert!(!e.is_backpressure(), "an expired job must not be resubmitted verbatim");
+        assert!(e.to_string().contains("deadline"));
     }
 
     #[test]

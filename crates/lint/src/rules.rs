@@ -45,7 +45,7 @@ pub const RULES: &[Rule] = &[
         id: "D1",
         severity: Severity::Deny,
         summary: "no HashMap/HashSet in determinism-critical crates \
-                  (core/mapreduce/partition); use BTreeMap/BTreeSet or sorted iteration",
+                  (core/mapreduce/partition/serve); use BTreeMap/BTreeSet or sorted iteration",
     },
     Rule {
         id: "D2",
@@ -95,7 +95,7 @@ pub struct Finding {
 // ---------------------------------------------------------------------------
 
 fn d1_in_scope(path: &str) -> bool {
-    ["crates/core/src/", "crates/mapreduce/src/", "crates/partition/src/"]
+    ["crates/core/src/", "crates/mapreduce/src/", "crates/partition/src/", "crates/serve/src/"]
         .iter()
         .any(|p| path.starts_with(p))
 }
@@ -112,6 +112,7 @@ fn e1_in_scope(path: &str) -> bool {
         "crates/cluster/src/",
         "crates/graph/src/",
         "crates/obs/src/",
+        "crates/serve/src/",
     ]
     .iter()
     .any(|p| path.starts_with(p))
@@ -510,7 +511,14 @@ mod tests {
     fn d1_only_fires_in_scoped_crates() {
         let src = "use std::collections::HashMap;\n";
         assert_eq!(run("crates/core/src/engine.rs", src).len(), 1);
+        assert_eq!(run("crates/serve/src/lib.rs", src).len(), 1);
         assert_eq!(run("crates/bench/src/lib.rs", src).len(), 0);
+    }
+
+    #[test]
+    fn e1_covers_the_serving_crate() {
+        let src = "fn f() { r.unwrap(); }\n";
+        assert_eq!(run("crates/serve/src/queue.rs", src).len(), 1);
     }
 
     #[test]

@@ -140,6 +140,14 @@ pub fn prometheus_text(report: &TraceReport) -> String {
         out.push_str(&format!("{n}_min {}\n", if h.count == 0 { 0 } else { h.min }));
         out.push_str(&format!("{n}_max {}\n", h.max));
     }
+    for ((k, l), h) in &report.labeled_hists {
+        let n = prom_name(&format!("{k}.{l}"));
+        out.push_str(&format!("# TYPE {n} summary\n"));
+        out.push_str(&format!("{n}_count {}\n", h.count));
+        out.push_str(&format!("{n}_sum {}\n", h.sum));
+        out.push_str(&format!("{n}_min {}\n", if h.count == 0 { 0 } else { h.min }));
+        out.push_str(&format!("{n}_max {}\n", h.max));
+    }
     out
 }
 

@@ -83,6 +83,43 @@ pub mod names {
     pub const KERNEL_VIRTUAL_FALLBACK_ROUNDS: &str = "kernel.virtual_fallback_rounds";
     /// Dense-accumulator slots flushed by the virtual fast path.
     pub const KERNEL_VIRTUAL_ROWS: &str = "kernel.virtual_rows";
+
+    // The `serve.*` namespace: admission control, scheduling and result
+    // caching of the multi-tenant serving layer (`crates/serve`). All values
+    // derive from simulated time and seeded arrivals, so they are
+    // deterministic and baseline-pinnable like the kernel counters.
+
+    /// Jobs submitted (admitted or not, cache hits included).
+    pub const SERVE_SUBMITTED: &str = "serve.submitted";
+    /// Jobs that passed admission control into the queue.
+    pub const SERVE_ADMITTED: &str = "serve.admitted";
+    /// Submissions rejected because the global capacity was full.
+    pub const SERVE_REJECTED_OVERLOADED: &str = "serve.rejected_overloaded";
+    /// Submissions rejected because the tenant hit its quota.
+    pub const SERVE_REJECTED_QUOTA: &str = "serve.rejected_quota";
+    /// Jobs that finished successfully (cache hits excluded).
+    pub const SERVE_COMPLETED: &str = "serve.completed";
+    /// Jobs that finished with a typed error.
+    pub const SERVE_FAILED: &str = "serve.failed";
+    /// Jobs expired by their deadline before finishing.
+    pub const SERVE_DEADLINE_EXCEEDED: &str = "serve.deadline_exceeded";
+    /// Retry attempts scheduled after retryable job failures.
+    pub const SERVE_RETRIES: &str = "serve.retries";
+    /// Work slices executed by the fair-share scheduler.
+    pub const SERVE_SLICES: &str = "serve.slices";
+    /// Submissions answered straight from the result cache.
+    pub const SERVE_CACHE_HITS: &str = "serve.cache_hits";
+    /// Submissions that missed the result cache.
+    pub const SERVE_CACHE_MISSES: &str = "serve.cache_misses";
+    /// Cache entries dropped by typed invalidations.
+    pub const SERVE_CACHE_INVALIDATED: &str = "serve.cache_invalidated";
+    /// Job latency (submit → completion) in simulated microseconds.
+    pub const SERVE_LATENCY_US: &str = "serve.latency_us";
+    /// Queue depth observed at each admission.
+    pub const SERVE_QUEUE_DEPTH: &str = "serve.queue_depth";
+    /// Per-tenant job latency in simulated microseconds (labeled histogram,
+    /// label = tenant id).
+    pub const SERVE_TENANT_LATENCY_US: &str = "serve.tenant.latency_us";
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);
@@ -184,6 +221,9 @@ struct State {
     counters: BTreeMap<&'static str, u64>,
     gauges: BTreeMap<&'static str, u64>,
     hists: BTreeMap<&'static str, Hist>,
+    /// Histograms keyed by `(name, integer label)` — the per-tenant series
+    /// of the serving layer (`serve.tenant.latency_us` per tenant id).
+    labeled_hists: BTreeMap<(&'static str, u64), Hist>,
     /// Occurrence counters for [`span_seq`].
     seq: BTreeMap<&'static str, u64>,
     /// The flight recorder's per-iteration samples, in record order.
@@ -244,6 +284,7 @@ impl ObsSession {
             counters: state.counters,
             gauges: state.gauges,
             hists: state.hists,
+            labeled_hists: state.labeled_hists,
             iterations: state.samples,
         }
     }
@@ -415,6 +456,20 @@ pub fn observe(name: &'static str, value: u64) {
     st.hists.entry(name).or_insert_with(Hist::new).record(value);
 }
 
+/// Record one sample into the `(name, label)` histogram — the per-tenant
+/// variant of [`observe`]. Labels are integers (tenant ids, partition ids),
+/// which keeps the registry allocation-free and the export keys sortable.
+pub fn observe_labeled(name: &'static str, label: u64, value: u64) {
+    if !enabled() {
+        return;
+    }
+    let mut st = lock_state();
+    if st.epoch.is_none() {
+        return;
+    }
+    st.labeled_hists.entry((name, label)).or_insert_with(Hist::new).record(value);
+}
+
 /// Feed one engine round to the flight recorder. The recorder assigns the
 /// sample's `seq` (occurrence index within its [`StageKind`]), so callers
 /// leave it 0. Call from the coordinating thread only — like [`span_seq`],
@@ -459,6 +514,8 @@ pub struct TraceReport {
     pub gauges: BTreeMap<&'static str, u64>,
     /// Histograms.
     pub hists: BTreeMap<&'static str, Hist>,
+    /// Labeled histograms keyed `(name, label)`; exported as `name.label`.
+    pub labeled_hists: BTreeMap<(&'static str, u64), Hist>,
     /// Flight-recorder samples, one per engine round, in record order.
     pub iterations: Vec<IterationSample>,
 }
@@ -467,6 +524,11 @@ impl TraceReport {
     /// A counter's total (0 when never touched).
     pub fn counter(&self, name: &str) -> u64 {
         self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// The `(name, label)` histogram, if any samples were recorded.
+    pub fn labeled_hist(&self, name: &str, label: u64) -> Option<&Hist> {
+        self.labeled_hists.iter().find(|((n, l), _)| *n == name && *l == label).map(|(_, h)| h)
     }
 
     /// Number of spans recorded under `name`.
@@ -658,7 +720,12 @@ impl TraceReport {
             out.push_str(&format!("{}\n    \"{}\": {}", if i == 0 { "" } else { "," }, esc(k), v));
         }
         out.push_str("\n  },\n  \"histograms\": {");
-        for (i, (k, h)) in self.hists.iter().enumerate() {
+        // Labeled histograms render as `name.label` entries after the plain
+        // ones; both maps iterate sorted, so the document is deterministic.
+        let mut entries: Vec<(String, &Hist)> =
+            self.hists.iter().map(|(k, h)| ((*k).to_string(), h)).collect();
+        entries.extend(self.labeled_hists.iter().map(|((k, l), h)| (format!("{k}.{l}"), h)));
+        for (i, (k, h)) in entries.iter().enumerate() {
             out.push_str(&format!(
                 "{}\n    \"{}\": {{\"count\": {}, \"sum\": {}, \"min\": {}, \"max\": {}}}",
                 if i == 0 { "" } else { "," },
@@ -828,6 +895,29 @@ mod tests {
         assert!(!a.contains("start_ns"));
         assert!(!a.contains("thread"));
         assert!(a.contains("\"bytes\": 10"));
+    }
+
+    #[test]
+    fn labeled_histograms_export_as_dotted_keys() {
+        let _g = serial();
+        let session = ObsSession::begin();
+        observe("serve.latency_us", 100);
+        observe_labeled("serve.tenant.latency_us", 3, 40);
+        observe_labeled("serve.tenant.latency_us", 3, 60);
+        observe_labeled("serve.tenant.latency_us", 7, 9);
+        let report = session.finish();
+        let h = report.labeled_hist("serve.tenant.latency_us", 3).expect("tenant 3 recorded");
+        assert_eq!((h.count, h.sum, h.min, h.max), (2, 100, 40, 60));
+        assert!(report.labeled_hist("serve.tenant.latency_us", 5).is_none());
+        let j = report.to_json();
+        assert!(
+            j.contains("\"serve.tenant.latency_us.3\": {\"count\": 2, \"sum\": 100"),
+            "labeled hist in histograms object: {j}"
+        );
+        assert!(j.contains("\"serve.tenant.latency_us.7\""));
+        let prom = crate::export::prometheus_text(&report);
+        assert!(prom.contains("surfer_serve_tenant_latency_us_3_count 2\n"), "{prom}");
+        assert!(prom.contains("surfer_serve_tenant_latency_us_7_max 9\n"));
     }
 
     #[test]

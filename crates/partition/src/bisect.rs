@@ -54,31 +54,32 @@ pub struct Bisection {
 /// Bisect a weighted graph with the multilevel pipeline.
 pub fn bisect_wgraph(g: &WGraph, cfg: &BisectConfig) -> Bisection {
     assert!(g.num_vertices() >= 2, "cannot bisect fewer than 2 vertices");
-    // Coarsening phase.
-    let mut levels: Vec<WGraph> = vec![g.clone()];
+    // Coarsening phase. `cur` is always the coarsest graph so far;
+    // `fine_levels[i]` is the finer graph `maps[i]` projects from.
+    let mut cur = g.clone();
+    let mut fine_levels: Vec<WGraph> = Vec::new();
     let mut maps: Vec<Vec<u32>> = Vec::new();
     let mut round = 0u64;
-    while levels.last().expect("non-empty").num_vertices() > cfg.coarsen_target {
-        let cur = levels.last().expect("non-empty");
+    while cur.num_vertices() > cfg.coarsen_target {
         let matching = cur.heavy_edge_matching(cfg.seed.wrapping_add(round));
         let (coarse, map) = cur.contract(&matching);
         let shrink = coarse.num_vertices() as f64 / cur.num_vertices() as f64;
         if shrink > cfg.min_shrink {
             break; // diminishing returns (e.g. star graphs)
         }
-        levels.push(coarse);
+        fine_levels.push(cur);
+        cur = coarse;
         maps.push(map);
         round += 1;
     }
 
     // Initial partitioning on the coarsest graph.
-    let coarsest = levels.last().expect("non-empty");
-    let mut side = gggp(coarsest, cfg.initial_tries, cfg.seed ^ 0xF00D);
-    fm_refine_bounded(coarsest, &mut side, cfg.refine_passes, cfg.max_side_fraction);
+    let mut side = gggp(&cur, cfg.initial_tries, cfg.seed ^ 0xF00D);
+    fm_refine_bounded(&cur, &mut side, cfg.refine_passes, cfg.max_side_fraction);
 
     // Uncoarsening phase: project through each map, refine.
     for level in (0..maps.len()).rev() {
-        let fine = &levels[level];
+        let fine = &fine_levels[level];
         let map = &maps[level];
         let mut fine_side = vec![false; fine.num_vertices()];
         for (v, &cv) in map.iter().enumerate() {

@@ -87,15 +87,17 @@ pub fn gggp(g: &WGraph, tries: u32, seed: u64) -> Vec<bool> {
     let n = g.num_vertices();
     assert!(n >= 2, "cannot bisect fewer than 2 vertices");
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut best: Option<(u64, Vec<bool>)> = None;
-    for _ in 0..tries.max(1) {
+    let first = rng.gen_range(0..n);
+    let (mut best_side, mut best_cut) = grow_from(g, first);
+    for _ in 1..tries.max(1) {
         let s = rng.gen_range(0..n);
         let (side, cut) = grow_from(g, s);
-        if best.as_ref().is_none_or(|(bc, _)| cut < *bc) {
-            best = Some((cut, side));
+        if cut < best_cut {
+            best_cut = cut;
+            best_side = side;
         }
     }
-    best.expect("at least one try").1
+    best_side
 }
 
 #[cfg(test)]

@@ -76,16 +76,20 @@ impl MachineGraph {
 
     /// The member with the maximum aggregated bandwidth (ties: lowest id).
     pub fn best_connected_machine(&self) -> MachineId {
-        *self
-            .machines
-            .iter()
-            .max_by(|&&a, &&b| {
-                self.aggregated_bandwidth_of(a)
-                    .partial_cmp(&self.aggregated_bandwidth_of(b))
-                    .expect("finite bandwidths")
-                    .then(b.cmp(&a)) // prefer lower id on ties
-            })
-            .expect("non-empty machine graph")
+        assert!(!self.machines.is_empty(), "machine graph must be non-empty");
+        // `machines` is sorted ascending, so a strictly-greater sweep keeps
+        // the lowest id on ties; a NaN bandwidth never compares greater and
+        // thus can't win, instead of aborting the partitioner.
+        let mut best = self.machines[0];
+        let mut best_bw = self.aggregated_bandwidth_of(best);
+        for &m in &self.machines[1..] {
+            let bw = self.aggregated_bandwidth_of(m);
+            if bw > best_bw {
+                best = m;
+                best_bw = bw;
+            }
+        }
+        best
     }
 
     /// Bisect into two (near-)equal halves minimizing the cross-half

@@ -1,0 +1,142 @@
+//! The serving layer's result cache: finished job outputs keyed by
+//! `(app, graph-version, params)`, with typed invalidation.
+//!
+//! Outputs are the jobs' encoded final vertex states (or whatever bytes the
+//! task returned), shared via `Arc` so a hit never copies. The cache is a
+//! `BTreeMap` — iteration order, and hence eviction counting, is
+//! deterministic.
+
+use std::collections::BTreeMap;
+use std::sync::Arc;
+use surfer_obs::names;
+
+/// Identity of a cacheable result. Two submissions with equal keys are
+/// promised (by the submitter) to compute the same bytes: same application,
+/// same loaded graph version, same parameter fingerprint.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CacheKey {
+    /// Application name ("NR", "pagerank", ...).
+    pub app: &'static str,
+    /// Version stamp of the loaded graph; bump it when the deployment
+    /// reloads or mutates the graph.
+    pub graph_version: u64,
+    /// Fingerprint of the job parameters (iteration count, damping bits,
+    /// source vertex — whatever distinguishes two runs of the same app).
+    pub params: u64,
+}
+
+/// What to evict. Each variant is a typed statement of *why* entries are
+/// stale, so callers can't accidentally nuke more (or less) than intended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Invalidation {
+    /// Every cached result of one application (its code changed).
+    App(&'static str),
+    /// Every result computed against one graph version (the graph was
+    /// reloaded or mutated).
+    GraphVersion(u64),
+    /// Exactly one entry.
+    Key(CacheKey),
+    /// Everything.
+    All,
+}
+
+/// The cache itself. Owned by the [`JobManager`](crate::JobManager); also
+/// usable standalone.
+#[derive(Debug, Default)]
+pub struct ResultCache {
+    map: BTreeMap<CacheKey, Arc<Vec<u8>>>,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        ResultCache { map: BTreeMap::new() }
+    }
+
+    /// Number of cached results.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Look up a result, counting the hit or miss in the `serve.cache_*`
+    /// metrics.
+    pub fn get(&self, key: &CacheKey) -> Option<Arc<Vec<u8>>> {
+        let hit = self.map.get(key).cloned();
+        if hit.is_some() {
+            surfer_obs::counter_add(names::SERVE_CACHE_HITS, 1);
+        } else {
+            surfer_obs::counter_add(names::SERVE_CACHE_MISSES, 1);
+        }
+        hit
+    }
+
+    /// Store a finished job's output. Last writer wins (equal keys promise
+    /// equal bytes, so overwriting is harmless).
+    pub fn insert(&mut self, key: CacheKey, output: Arc<Vec<u8>>) {
+        self.map.insert(key, output);
+    }
+
+    /// Evict per `inv`; returns how many entries were dropped (also counted
+    /// on `serve.cache_invalidated`).
+    pub fn invalidate(&mut self, inv: &Invalidation) -> usize {
+        let before = self.map.len();
+        match inv {
+            Invalidation::App(app) => self.map.retain(|k, _| k.app != *app),
+            Invalidation::GraphVersion(v) => self.map.retain(|k, _| k.graph_version != *v),
+            Invalidation::Key(key) => {
+                self.map.remove(key);
+            }
+            Invalidation::All => self.map.clear(),
+        }
+        let dropped = before - self.map.len();
+        surfer_obs::counter_add(names::SERVE_CACHE_INVALIDATED, dropped as u64);
+        dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn key(app: &'static str, gv: u64, params: u64) -> CacheKey {
+        CacheKey { app, graph_version: gv, params }
+    }
+
+    #[test]
+    fn typed_invalidation_evicts_exactly_the_stale_entries() {
+        let mut c = ResultCache::new();
+        for (app, gv, p) in [("NR", 1, 10), ("NR", 1, 11), ("NR", 2, 10), ("RS", 1, 10)] {
+            c.insert(key(app, gv, p), Arc::new(vec![p as u8]));
+        }
+        assert_eq!(c.len(), 4);
+
+        assert_eq!(c.invalidate(&Invalidation::Key(key("NR", 1, 11))), 1);
+        assert!(c.get(&key("NR", 1, 11)).is_none());
+
+        assert_eq!(c.invalidate(&Invalidation::GraphVersion(2)), 1);
+        assert!(c.get(&key("NR", 2, 10)).is_none());
+
+        assert_eq!(c.invalidate(&Invalidation::App("NR")), 1);
+        assert!(c.get(&key("NR", 1, 10)).is_none());
+        assert!(c.get(&key("RS", 1, 10)).is_some(), "other app survives");
+
+        assert_eq!(c.invalidate(&Invalidation::All), 1);
+        assert!(c.is_empty());
+        // Invalidating an empty cache drops nothing.
+        assert_eq!(c.invalidate(&Invalidation::All), 0);
+    }
+
+    #[test]
+    fn hits_share_the_same_allocation() {
+        let mut c = ResultCache::new();
+        let blob = Arc::new(vec![1u8, 2, 3]);
+        c.insert(key("NR", 1, 0), Arc::clone(&blob));
+        let a = c.get(&key("NR", 1, 0)).unwrap();
+        assert!(Arc::ptr_eq(&a, &blob));
+    }
+}

@@ -16,6 +16,8 @@
 //! * [`apps`] — the six paper applications (NR, RS, TC, VDD, RLG, TFL).
 //! * [`obs`] — zero-dependency span tracing + metrics for the real
 //!   execution path (`reproduce -- profile`).
+//! * [`serve`] — multi-tenant job serving: admission control, deadlines,
+//!   retries with seeded backoff, fair-share scheduling and a result cache.
 //!
 //! ## Quickstart
 //!
@@ -42,6 +44,7 @@ pub use surfer_graph as graph;
 pub use surfer_mapreduce as mapreduce;
 pub use surfer_obs as obs;
 pub use surfer_partition as partition;
+pub use surfer_serve as serve;
 
 /// Convenient glob-import surface for examples and applications.
 pub mod prelude {
@@ -55,4 +58,5 @@ pub mod prelude {
     pub use surfer_graph::generators::social::{msn_like, MsnScale};
     pub use surfer_graph::{CsrGraph, GraphBuilder, VertexId};
     pub use surfer_partition::PartitionedGraph;
+    pub use surfer_serve::{JobManager, JobSpec, PropagationJob, ServeConfig, TenantId};
 }

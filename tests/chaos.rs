@@ -8,7 +8,8 @@ use std::path::PathBuf;
 use std::sync::Arc;
 use surfer::apps::pagerank::PageRankPropagation;
 use surfer::cluster::{
-    ClusterConfig, FaultPlan, MachineCrash, MachineId, SimCluster, SnapshotCorruption, UdfPanicAt,
+    ClusterConfig, FaultPlan, MachineCrash, MachineId, SimCluster, SnapshotCorruption,
+    SnapshotWriteFailure, UdfPanicAt,
 };
 use surfer::core::{
     run_with_recovery, EngineOptions, PropagationEngine, RecoveryConfig, SurferError,
@@ -56,7 +57,7 @@ fn crash_and_panic_recover_bit_identically_at_every_thread_count() {
     let plan = FaultPlan {
         crashes: vec![MachineCrash { machine: MachineId(0), at_iteration: 3 }],
         udf_panics: vec![UdfPanicAt { iteration: 1, vertex: 4 }],
-        corruptions: vec![],
+        ..FaultPlan::none()
     };
     for threads in [1usize, 2, 0] {
         let cfg = RecoveryConfig::new(INTERVAL, tmp(&format!("threads-{threads}")));
@@ -101,6 +102,7 @@ fn corrupt_snapshot_falls_back_to_next_replica() {
         crashes: vec![MachineCrash { machine: MachineId(0), at_iteration: 3 }],
         udf_panics: vec![],
         corruptions: vec![SnapshotCorruption { checkpoint: 2, partition: 0, replica: 1 }],
+        ..FaultPlan::none()
     };
     let cfg = RecoveryConfig::new(INTERVAL, tmp("corrupt-one"));
     let mut state = engine.init_state(&p);
@@ -135,6 +137,7 @@ fn exhausting_all_replicas_is_a_typed_error() {
             SnapshotCorruption { checkpoint: 2, partition: 0, replica: 1 },
             SnapshotCorruption { checkpoint: 2, partition: 0, replica: 2 },
         ],
+        ..FaultPlan::none()
     };
     let cfg = RecoveryConfig::new(INTERVAL, tmp("corrupt-all"));
     let mut state = engine.init_state(&p);
@@ -172,7 +175,7 @@ fn recovery_recomputes_only_the_tail() {
     let plan = FaultPlan {
         crashes: vec![MachineCrash { machine: MachineId(1), at_iteration: 5 }],
         udf_panics: vec![],
-        corruptions: vec![],
+        ..FaultPlan::none()
     };
     let cfg = RecoveryConfig::new(INTERVAL, tmp("tail"));
     let mut state = engine.init_state(&p);
@@ -188,6 +191,103 @@ fn recovery_recomputes_only_the_tail() {
     )
     .unwrap();
     assert_eq!(out.stats.tail_iterations_recomputed, 5 - 4);
+    let _ = std::fs::remove_dir_all(&cfg.dir);
+}
+
+/// Transient snapshot-write failures retry with simulated backoff and leave
+/// results bit-identical; the backoff shows up as pure simulated wait.
+#[test]
+fn transient_write_failures_retry_with_backoff_and_stay_bit_identical() {
+    let (c, pg) = fixture();
+    let p = prog();
+    let engine = PropagationEngine::new(&c, &pg, EngineOptions::full());
+    let mut baseline = engine.init_state(&p);
+    engine.run(&p, &mut baseline, ITERATIONS).unwrap();
+
+    let cfg_clean = RecoveryConfig::new(INTERVAL, tmp("hiccup-clean"));
+    let mut clean_state = engine.init_state(&p);
+    let clean = run_with_recovery(
+        &c,
+        &pg,
+        EngineOptions::full(),
+        &p,
+        &mut clean_state,
+        ITERATIONS,
+        &cfg_clean,
+        &FaultPlan::none(),
+    )
+    .unwrap();
+
+    // Two hiccups on partition 1's checkpoint-2 snapshot, well within the
+    // default budget of 3 retries — and a crash later, so the retried
+    // snapshot is also what the restore reads back.
+    let plan = FaultPlan {
+        crashes: vec![MachineCrash { machine: MachineId(2), at_iteration: 3 }],
+        write_failures: vec![SnapshotWriteFailure { checkpoint: 2, partition: 1, failures: 2 }],
+        ..FaultPlan::none()
+    };
+    let cfg = RecoveryConfig::new(INTERVAL, tmp("hiccup"));
+    let mut state = engine.init_state(&p);
+    let out = run_with_recovery(
+        &c,
+        &pg,
+        EngineOptions::full(),
+        &p,
+        &mut state,
+        ITERATIONS,
+        &cfg,
+        &plan,
+    )
+    .unwrap();
+    assert_eq!(bits(&state), bits(&baseline), "write retries changed results");
+    assert_eq!(out.stats.snapshot_write_retries, 2, "both hiccups must be retried");
+    // Exponential backoff: 10 ms + 20 ms of pure simulated wait beyond
+    // whatever the crash recovery itself cost.
+    let backoff = cfg.snapshot_retry_backoff.0 + 2 * cfg.snapshot_retry_backoff.0;
+    assert!(
+        out.report.response_time.0 >= clean.report.response_time.0 + backoff,
+        "backoff must surface as simulated wait: faulted {:?} vs clean {:?}",
+        out.report.response_time,
+        clean.report.response_time
+    );
+    assert_eq!(clean.stats.snapshot_write_retries, 0);
+    let _ = std::fs::remove_dir_all(&cfg.dir);
+    let _ = std::fs::remove_dir_all(&cfg_clean.dir);
+}
+
+/// A hiccup streak longer than the retry budget surfaces as a typed
+/// `RetriesExhausted`, never a panic or a silent partial checkpoint.
+#[test]
+fn write_retry_exhaustion_is_a_typed_error() {
+    let (c, pg) = fixture();
+    let p = prog();
+    let engine = PropagationEngine::new(&c, &pg, EngineOptions::full());
+
+    let plan = FaultPlan {
+        write_failures: vec![SnapshotWriteFailure { checkpoint: 2, partition: 0, failures: 2 }],
+        ..FaultPlan::none()
+    };
+    let mut cfg = RecoveryConfig::new(INTERVAL, tmp("hiccup-exhaust"));
+    cfg.max_snapshot_write_retries = 1; // budget below the streak
+    let mut state = engine.init_state(&p);
+    let err = run_with_recovery(
+        &c,
+        &pg,
+        EngineOptions::full(),
+        &p,
+        &mut state,
+        ITERATIONS,
+        &cfg,
+        &plan,
+    )
+    .unwrap_err();
+    match err {
+        SurferError::RetriesExhausted { iteration, attempts } => {
+            assert_eq!(iteration, 2, "the checkpoint-2 write is what exhausted");
+            assert_eq!(attempts, 2, "budget of 1 retry = 2 attempts");
+        }
+        other => panic!("expected RetriesExhausted, got {other:?}"),
+    }
     let _ = std::fs::remove_dir_all(&cfg.dir);
 }
 
