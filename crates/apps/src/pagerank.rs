@@ -10,8 +10,7 @@ use crate::ExactOutput;
 use std::collections::HashMap;
 use surfer_cluster::ExecReport;
 use surfer_core::{
-    ColumnarState, Propagation, PropagationEngine, StateColumn, SurferApp, SurferResult,
-    VectorizedProgram,
+    ColumnarState, Propagation, PropagationEngine, SpillCodec, StateColumn, SurferApp, SurferResult, VectorizedProgram,
 };
 use surfer_graph::{CsrGraph, VertexId};
 use surfer_mapreduce::{Emitter, MapReduceEngine, PartitionMapper, Reducer};
@@ -111,6 +110,18 @@ impl Propagation for PageRankPropagation {
 
     fn msg_bytes(&self, _m: &f64) -> u64 {
         12 // 4-byte destination id + 8-byte partial rank
+    }
+
+    fn spill_capable(&self) -> bool {
+        true
+    }
+
+    fn spill_encode(&self, msg: &f64, out: &mut Vec<u8>) {
+        msg.spill_to(out);
+    }
+
+    fn spill_decode(&self, buf: &mut &[u8]) -> Option<f64> {
+        f64::spill_from(buf)
     }
 }
 

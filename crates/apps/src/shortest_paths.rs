@@ -6,8 +6,7 @@
 use crate::ExactOutput;
 use surfer_cluster::ExecReport;
 use surfer_core::{
-    ColumnarState, Propagation, PropagationEngine, StateColumn, SurferApp, SurferResult,
-    VectorizedProgram,
+    ColumnarState, Propagation, PropagationEngine, SpillCodec, StateColumn, SurferApp, SurferResult, VectorizedProgram,
 };
 use surfer_graph::{CsrGraph, VertexId};
 use surfer_mapreduce::{Emitter, MapReduceEngine, PartitionMapper, Reducer};
@@ -122,6 +121,18 @@ impl Propagation for BfsPropagation {
 
     fn msg_bytes(&self, _m: &u32) -> u64 {
         8
+    }
+
+    fn spill_capable(&self) -> bool {
+        true
+    }
+
+    fn spill_encode(&self, msg: &u32, out: &mut Vec<u8>) {
+        msg.spill_to(out);
+    }
+
+    fn spill_decode(&self, buf: &mut &[u8]) -> Option<u32> {
+        u32::spill_from(buf)
     }
 }
 

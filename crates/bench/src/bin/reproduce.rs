@@ -111,7 +111,7 @@ fn main() {
                 r.recovery_overhead_pct(),
                 r.bit_identical
             );
-            let (_, _, bench_json) = bench_threads::run(wl, 3);
+            let (_, _, _, bench_json) = bench_threads::run(wl, 3);
             let json = chaos::splice_into(&bench_json, &chaos_json);
             std::fs::write("BENCH_propagation.json", &json)
                 .unwrap_or_else(|e| die(&format!("writing BENCH_propagation.json: {e}")));
@@ -119,7 +119,7 @@ fn main() {
             println!("{json}");
         }
         "bench" => {
-            let (results, lanes, json) = bench_threads::run(w.expect("workload"), 3);
+            let (results, lanes, ooc, json) = bench_threads::run(w.expect("workload"), 3);
             for r in &results {
                 eprintln!(
                     "# threads={} ({} resolved): {:.1} ms, {:.0} msgs/s",
@@ -132,6 +132,16 @@ fn main() {
                     l.lane, l.wall_ms, l.messages_per_sec, l.speedup_vs_scalar
                 );
             }
+            eprintln!(
+                "# out-of-core ({} B budget / {} B working set): {:.1} ms, {:.0} msgs/s, \
+                 {} B spilled, {} B reread",
+                ooc.budget_bytes,
+                ooc.working_set_bytes,
+                ooc.wall_ms,
+                ooc.messages_per_sec,
+                ooc.bytes_spilled,
+                ooc.bytes_reread
+            );
             std::fs::write("BENCH_propagation.json", &json)
                 .unwrap_or_else(|e| die(&format!("writing BENCH_propagation.json: {e}")));
             eprintln!("# wrote BENCH_propagation.json");

@@ -12,7 +12,10 @@ use crate::Workload;
 use std::time::Instant;
 use surfer_apps::pagerank::PageRankPropagation;
 use surfer_cluster::par::{resolve_threads, resolve_threads_clamped};
-use surfer_core::{EngineOptions, OptimizationLevel, PropagationEngine};
+use surfer_core::{
+    working_set_bytes, EngineOptions, MemoryBudget, OptimizationLevel, Propagation,
+    PropagationEngine,
+};
 
 /// One measured configuration.
 #[derive(Debug, Clone, Copy)]
@@ -112,11 +115,86 @@ pub fn run_kernel_lanes(w: &Workload, iterations: u32) -> Vec<KernelLaneResult> 
     lanes
 }
 
+/// The out-of-core lane: the same PageRank job forced through the spill
+/// path by a memory budget of ~1/10th the working set.
+#[derive(Debug, Clone, Copy)]
+pub struct OocResult {
+    /// The enforced memory budget in bytes.
+    pub budget_bytes: u64,
+    /// The job's resident working set (adjacency + vertex states).
+    pub working_set_bytes: u64,
+    /// Wall-clock milliseconds for all iterations.
+    pub wall_ms: f64,
+    /// Messages emitted across all iterations.
+    pub messages: u64,
+    /// Host throughput.
+    pub messages_per_sec: f64,
+    /// Bytes written to spill files (edge blocks + mailbox segments).
+    pub bytes_spilled: u64,
+    /// Bytes streamed back from spill files.
+    pub bytes_reread: u64,
+    /// Iterations that ran through the spill lane.
+    pub spill_iterations: u64,
+}
+
+/// Benchmark the out-of-core lane: run the same PageRank job under a memory
+/// budget of ~1/10th the working set (so adjacency streams from disk and the
+/// mailbox spills to segments), assert the states are bit-identical to the
+/// all-in-RAM run, and report throughput plus the spill byte counters.
+pub fn run_ooc_lane(w: &Workload, iterations: u32) -> OocResult {
+    let surfer = w.surfer(w.t1_cluster(), OptimizationLevel::O4);
+    let prog = PageRankPropagation { damping: 0.85, n: w.graph.num_vertices() as u64 };
+    let resident = PropagationEngine::new(
+        surfer.cluster(),
+        surfer.partitioned(),
+        EngineOptions::full().threads(1),
+    );
+    let mut reference = resident.init_state(&prog);
+    resident.run(&prog, &mut reference, iterations).unwrap();
+
+    let ws = working_set_bytes(surfer.partitioned(), prog.state_bytes());
+    let budget = (ws / 10).max(1);
+    let engine = PropagationEngine::new(
+        surfer.cluster(),
+        surfer.partitioned(),
+        EngineOptions::full().threads(1).memory_budget(MemoryBudget::bytes(budget)),
+    );
+    let mut state = engine.init_state(&prog);
+    let session = surfer_obs::ObsSession::begin();
+    let mut messages = 0u64;
+    // lint:allow(D2, host wall-clock is the measurement itself here)
+    let start = Instant::now();
+    for _ in 0..iterations {
+        let (_, m) = engine.run_iteration_counted(&prog, &mut state).unwrap();
+        messages += m;
+    }
+    let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+    let trace = session.finish();
+    assert!(
+        reference.iter().zip(&state).all(|(x, y)| x.to_bits() == y.to_bits()),
+        "out-of-core lane diverged from the all-in-RAM run"
+    );
+    OocResult {
+        budget_bytes: budget,
+        working_set_bytes: ws,
+        wall_ms,
+        messages,
+        messages_per_sec: messages as f64 / (wall_ms / 1e3).max(1e-9),
+        bytes_spilled: trace.counter(surfer_obs::names::SPILL_BYTES_SPILLED),
+        bytes_reread: trace.counter(surfer_obs::names::SPILL_BYTES_REREAD),
+        spill_iterations: trace.counter(surfer_obs::names::SPILL_ITERATIONS),
+    }
+}
+
 /// Run `iterations` PageRank iterations at each thread count, checking that
 /// every run produces bit-identical states to the sequential baseline, then
-/// benchmark the scalar-vs-vectorized kernel lanes. Returns the thread
-/// results, the kernel-lane results and the JSON document.
-pub fn run(w: &Workload, iterations: u32) -> (Vec<ThreadResult>, Vec<KernelLaneResult>, String) {
+/// benchmark the scalar-vs-vectorized kernel lanes and the out-of-core
+/// lane. Returns the thread results, the kernel-lane results, the
+/// out-of-core result and the JSON document.
+pub fn run(
+    w: &Workload,
+    iterations: u32,
+) -> (Vec<ThreadResult>, Vec<KernelLaneResult>, OocResult, String) {
     let surfer = w.surfer(w.t1_cluster(), OptimizationLevel::O4);
     let prog = PageRankPropagation { damping: 0.85, n: w.graph.num_vertices() as u64 };
 
@@ -158,8 +236,9 @@ pub fn run(w: &Workload, iterations: u32) -> (Vec<ThreadResult>, Vec<KernelLaneR
     }
 
     let lanes = run_kernel_lanes(w, iterations);
-    let json = render_json(w, iterations, baseline_ms, &results, &lanes);
-    (results, lanes, json)
+    let ooc = run_ooc_lane(w, iterations);
+    let json = render_json(w, iterations, baseline_ms, &results, &lanes, &ooc);
+    (results, lanes, ooc, json)
 }
 
 /// Hand-rolled JSON (the workspace deliberately has no serialization deps
@@ -170,6 +249,7 @@ fn render_json(
     baseline_ms: f64,
     results: &[ThreadResult],
     lanes: &[KernelLaneResult],
+    ooc: &OocResult,
 ) -> String {
     let mut out = String::from("{\n");
     out.push_str("  \"experiment\": \"propagation_threads\",\n");
@@ -208,7 +288,21 @@ fn render_json(
             if i + 1 == lanes.len() { "" } else { "," },
         ));
     }
-    out.push_str("  ]\n}\n");
+    out.push_str("  ],\n");
+    out.push_str(&format!(
+        "  \"out_of_core\": {{\"budget_bytes\": {}, \"working_set_bytes\": {}, \
+         \"wall_ms\": {:.3}, \"messages\": {}, \"messages_per_sec\": {:.1}, \
+         \"bytes_spilled\": {}, \"bytes_reread\": {}, \"spill_iterations\": {}}}\n",
+        ooc.budget_bytes,
+        ooc.working_set_bytes,
+        ooc.wall_ms,
+        ooc.messages,
+        ooc.messages_per_sec,
+        ooc.bytes_spilled,
+        ooc.bytes_reread,
+        ooc.spill_iterations,
+    ));
+    out.push_str("}\n");
     out
 }
 
@@ -233,7 +327,7 @@ mod tests {
     fn bench_runs_and_emits_json() {
         let cfg = ExpConfig { scale: MsnScale::Tiny, machines: 4, partitions: 8, seed: 2010 };
         let w = Workload::prepare(cfg);
-        let (results, lanes, json) = run(&w, 1);
+        let (results, lanes, ooc, json) = run(&w, 1);
         assert!(!results.is_empty());
         assert!(results.iter().all(|r| r.messages > 0));
         assert!(json.contains("\"experiment\": \"propagation_threads\""));
@@ -246,6 +340,15 @@ mod tests {
         assert_eq!(lanes[0].messages, lanes[1].messages);
         assert!(json.contains("\"kernel_lanes\""));
         assert!(json.contains("\"speedup_vs_scalar\""));
+        // The out-of-core lane really spilled: both directions of spill
+        // I/O are nonzero and every iteration took the spill path.
+        assert!(ooc.working_set_bytes >= 10 * ooc.budget_bytes);
+        assert!(ooc.bytes_spilled > 0, "no bytes were spilled");
+        assert!(ooc.bytes_reread > 0, "no spilled bytes were reread");
+        assert_eq!(ooc.spill_iterations, 1);
+        assert_eq!(ooc.messages, lanes[0].messages);
+        assert!(json.contains("\"out_of_core\""));
+        assert!(json.contains("\"bytes_spilled\""));
         // The spliced chaos entry relies on the document ending in '}'.
         assert!(json.trim_end().ends_with('}'));
     }

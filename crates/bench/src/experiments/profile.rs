@@ -14,7 +14,10 @@
 //! 5. **Serving** — a deterministic two-tenant `JobManager` session
 //!    (admission, fair-share dispatch, one result-cache hit), so the
 //!    `serve.*` counters and per-tenant latency histograms are pinned by
-//!    the same metrics gate.
+//!    the same metrics gate;
+//! 6. **Out-of-core** — the same PageRank job forced through the spill
+//!    lane by a ~1/10th-working-set memory budget, so the `spill.*` byte
+//!    counters are pinned too.
 //!
 //! The result is exported as `TRACE_profile.json` next to
 //! `BENCH_propagation.json` and validated against the expected schema —
@@ -26,7 +29,8 @@ use surfer_apps::pagerank::PageRankPropagation;
 use surfer_apps::VertexDegreeDistribution;
 use surfer_cluster::{render_span_gantt, FaultPlan, MachineCrash};
 use surfer_core::{
-    run_with_recovery, EngineOptions, OptimizationLevel, PropagationEngine, RecoveryConfig,
+    run_with_recovery, working_set_bytes, EngineOptions, MemoryBudget, OptimizationLevel,
+    Propagation, PropagationEngine, RecoveryConfig,
 };
 use surfer_obs::{ObsSession, TraceReport, SCHEMA_VERSION};
 use surfer_partition::{load_partitioned, sketch_quality, write_partitioned, SketchQuality};
@@ -152,6 +156,24 @@ pub fn run(w: &Workload) -> ProfileResult {
     .expect("serve cache-hit submit");
     jm.run_to_completion();
 
+    // 6. Out-of-core propagation: the same job under a memory budget of
+    // ~1/10th the working set streams adjacency from spilled edge blocks
+    // and spills the mailbox to disk segments, landing the `spill.*`
+    // counters in the trace. Bit-identity with the resident run is
+    // asserted so the profile never records a divergent execution.
+    let budget = (working_set_bytes(pg, prog.state_bytes()) / 10).max(1);
+    let spilling = PropagationEngine::new(
+        cluster,
+        pg,
+        EngineOptions::full().memory_budget(MemoryBudget::bytes(budget)),
+    );
+    let mut ooc_state = spilling.init_state(&prog);
+    spilling.run(&prog, &mut ooc_state, ITERATIONS).expect("out-of-core run");
+    assert!(
+        state.iter().zip(&ooc_state).all(|(x, y)| x.to_bits() == y.to_bits()),
+        "out-of-core profile stage diverged from the resident run"
+    );
+
     let report = session.finish();
     let placement: Vec<u16> = pg.placement().iter().map(|m| m.0).collect();
     let json = render_json(w, &report, &placement);
@@ -262,6 +284,10 @@ pub const REQUIRED_KEYS: &[&str] = &[
     "\"serve.cache_hits\"",
     "\"serve.latency_us\"",
     "\"serve.tenant.latency_us.",
+    // Out-of-core spill I/O.
+    "\"spill.bytes_spilled\"",
+    "\"spill.bytes_reread\"",
+    "\"spill.iterations\"",
 ];
 
 /// Validate an exported profile document. Returns every missing key plus a
@@ -304,6 +330,13 @@ mod tests {
         assert!(r.report.counter("fs.snapshot.read_bytes") > 0, "snapshot reads instrumented");
         assert_eq!(r.report.counter("serve.admitted"), 3, "serving mini-session instrumented");
         assert_eq!(r.report.counter("serve.cache_hits"), 1, "repeat query must hit the cache");
+        assert!(r.report.counter("spill.bytes_spilled") > 0, "out-of-core stage spilled");
+        assert!(r.report.counter("spill.bytes_reread") > 0, "spilled bytes were reread");
+        assert_eq!(
+            r.report.counter("spill.iterations"),
+            ITERATIONS as u64,
+            "every out-of-core iteration took the spill lane"
+        );
         assert!(
             r.report.labeled_hist("serve.tenant.latency_us", 0).is_some(),
             "per-tenant latency recorded"

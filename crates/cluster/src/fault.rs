@@ -62,6 +62,34 @@ pub struct SnapshotWriteFailure {
     pub failures: u32,
 }
 
+/// What goes wrong with one spill file of the out-of-core engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpillFaultKind {
+    /// The last mailbox segment written by the partition loses its tail
+    /// (a short write / torn append).
+    ShortWrite,
+    /// A byte flips inside a mailbox segment frame (bit rot between the
+    /// Transfer write and the Combine read).
+    CorruptFrame,
+    /// A byte flips inside the partition's on-disk edge-block file before
+    /// the Transfer scan streams it.
+    CorruptEdgeBlock,
+}
+
+/// Disk fault against the out-of-core spill I/O of `partition` during
+/// iteration `iteration`. Detected by the spill frames' CRC32 guard and
+/// surfaced as a typed storage error — the iteration fails as a value with
+/// vertex state untouched, so a retry (with fresh spill files) recovers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpillFault {
+    /// Iteration (0-based) whose spill I/O is damaged.
+    pub iteration: u32,
+    /// The partition whose spill file takes the hit.
+    pub partition: u32,
+    /// The damage applied.
+    pub kind: SpillFaultKind,
+}
+
 /// A full failure schedule for one job run. Empty plan = fault-free run.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct FaultPlan {
@@ -73,6 +101,8 @@ pub struct FaultPlan {
     pub corruptions: Vec<SnapshotCorruption>,
     /// Transient (retryable) snapshot-write failures.
     pub write_failures: Vec<SnapshotWriteFailure>,
+    /// Disk faults against out-of-core spill files.
+    pub spill_faults: Vec<SpillFault>,
 }
 
 impl FaultPlan {
@@ -87,6 +117,12 @@ impl FaultPlan {
             && self.udf_panics.is_empty()
             && self.corruptions.is_empty()
             && self.write_failures.is_empty()
+            && self.spill_faults.is_empty()
+    }
+
+    /// Spill-I/O faults scheduled for `iteration`, in plan order.
+    pub fn spill_faults_at(&self, iteration: u32) -> Vec<SpillFault> {
+        self.spill_faults.iter().filter(|f| f.iteration == iteration).copied().collect()
     }
 
     /// Machines scheduled to crash at the start of `iteration`, in plan
@@ -229,6 +265,11 @@ mod tests {
             udf_panics: vec![UdfPanicAt { iteration: 1, vertex: 42 }],
             corruptions: vec![SnapshotCorruption { checkpoint: 0, partition: 3, replica: 1 }],
             write_failures: vec![SnapshotWriteFailure { checkpoint: 2, partition: 1, failures: 2 }],
+            spill_faults: vec![SpillFault {
+                iteration: 1,
+                partition: 2,
+                kind: SpillFaultKind::ShortWrite,
+            }],
         };
         assert_eq!(plan.crashes_at(2).collect::<Vec<_>>(), vec![MachineId(1), MachineId(3)]);
         assert_eq!(plan.crashes_at(0).count(), 0);
@@ -238,6 +279,8 @@ mod tests {
         assert_eq!(plan.write_failures_for(2, 1), 2);
         assert_eq!(plan.write_failures_for(2, 0), 0);
         assert_eq!(plan.write_failures_for(0, 1), 0);
+        assert_eq!(plan.spill_faults_at(1), plan.spill_faults);
+        assert!(plan.spill_faults_at(0).is_empty());
         assert!(!plan.is_empty());
         assert!(FaultPlan::none().is_empty());
         let only_hiccup = FaultPlan {

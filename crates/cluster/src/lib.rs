@@ -39,7 +39,10 @@ pub use exec::{
     ClusterLost, Executor, Fault, ReassignRequest, Replanner, RoundRobinReplanner, TaskId,
     TaskKind, TaskSpec, TransferId,
 };
-pub use fault::{FaultPlan, MachineCrash, SnapshotCorruption, SnapshotWriteFailure, UdfPanicAt};
+pub use fault::{
+    FaultPlan, MachineCrash, SnapshotCorruption, SnapshotWriteFailure, SpillFault, SpillFaultKind,
+    UdfPanicAt,
+};
 pub use jobmanager::StoreReplanner;
 pub use par::{par_map_indexed, par_map_vec, resolve_threads, try_par_map_vec, WorkerPanic};
 pub use machine::{MachineId, MachineSpec};

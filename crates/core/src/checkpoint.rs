@@ -187,6 +187,10 @@ pub struct RecoveryStats {
     pub snapshot_write_retries: u32,
     /// Machines that fail-stopped during the job.
     pub machine_crashes: u32,
+    /// Iterations re-run after an injected spill-I/O fault (out-of-core
+    /// runs only; the engine discards its damaged spill files and the
+    /// retry rewrites them from the in-memory graph).
+    pub spill_retries: u32,
     /// Iterations recomputed between the restored checkpoint and the crash
     /// point (the recovery tail).
     pub tail_iterations_recomputed: u32,
@@ -290,6 +294,18 @@ impl<P: Propagation> Propagation for ChaosProgram<'_, P> {
 
     fn state_bytes(&self) -> u64 {
         self.inner.state_bytes()
+    }
+
+    fn spill_capable(&self) -> bool {
+        self.inner.spill_capable()
+    }
+
+    fn spill_encode(&self, msg: &Self::Msg, out: &mut Vec<u8>) {
+        self.inner.spill_encode(msg, out)
+    }
+
+    fn spill_decode(&self, buf: &mut &[u8]) -> Option<Self::Msg> {
+        self.inner.spill_decode(buf)
     }
 
     fn transfer_ops(&self) -> f64 {
@@ -422,15 +438,32 @@ where
         // attempt (state untouched) and the iteration retries.
         let engine = PropagationEngine::new(cluster, &cur, options);
         chaos.set_iteration(it);
+        // Spill-I/O faults (short writes, corrupted spill blocks) fire on
+        // the iteration's *first* attempt only: the out-of-core lane fails
+        // the attempt as a typed `Storage` error with vertex states
+        // untouched and its edge-block cache invalidated, so the retry
+        // rewrites every spill file from the in-memory graph and succeeds.
+        // Machine-crash faults take precedence when both land on one
+        // iteration — the rollback path already re-runs everything.
+        let spill_faults = plan.spill_faults_at(it);
         let mut attempts = 0u32;
         let report = loop {
-            let result = if iter_faults.is_empty() {
-                engine.run_iteration(&chaos, state)
-            } else {
+            let result = if !iter_faults.is_empty() {
                 engine.run_iteration_with_faults(&chaos, state, &iter_faults)
+            } else if attempts == 0 && !spill_faults.is_empty() {
+                engine.run_iteration_with_spill_faults(&chaos, state, &spill_faults)
+            } else {
+                engine.run_iteration(&chaos, state)
             };
             match result {
                 Ok(r) => break r,
+                Err(SurferError::Storage(_))
+                    if attempts == 0 && iter_faults.is_empty() && !spill_faults.is_empty() =>
+                {
+                    attempts += 1;
+                    stats.spill_retries += 1;
+                    surfer_obs::counter_add("ckpt.spill_retries", 1);
+                }
                 Err(e) if e.is_retryable() && attempts < cfg.max_udf_retries => {
                     attempts += 1;
                     stats.udf_retries += 1;

@@ -22,13 +22,15 @@
 //! are identical for every thread count.
 
 use crate::error::{SurferError, SurferResult};
+use crate::ooc::{working_set_bytes, MemoryBudget, OocSession};
 use crate::opt::OptimizationLevel;
 use crate::primitive::{Propagation, VirtualVertexTask};
 use std::collections::BTreeMap;
+use std::sync::Arc;
 use surfer_cluster::par::try_par_map_vec;
 use surfer_cluster::{
-    ExecReport, Executor, Fault, MachineId, PartitionStore, SimCluster, StoreReplanner, TaskKind,
-    TaskSpec,
+    ExecReport, Executor, Fault, MachineId, PartitionStore, SimCluster, SpillFault, StoreReplanner,
+    TaskKind, TaskSpec,
 };
 use surfer_graph::VertexId;
 use surfer_partition::PartitionedGraph;
@@ -57,6 +59,12 @@ pub struct EngineOptions {
     /// Serve kernel adjacency gathers from the delta/varint `PackedCsr`
     /// instead of raw CSR target slices (trades decode CPU for footprint).
     pub packed_adjacency: bool,
+    /// Resident-set budget. Unlimited (the default) runs everything in
+    /// memory; a limited budget diverts any program whose working set
+    /// exceeds it through the out-of-core lane (`crate::ooc`): adjacency
+    /// streamed from disk edge blocks, mailbox spilled to segment files —
+    /// results stay bit-identical to the in-memory engine.
+    pub memory_budget: MemoryBudget,
 }
 
 impl EngineOptions {
@@ -83,6 +91,7 @@ impl EngineOptions {
             vectorized: true,
             allow_oversubscription: false,
             packed_adjacency: false,
+            memory_budget: MemoryBudget::unlimited(),
         }
     }
 
@@ -107,6 +116,12 @@ impl EngineOptions {
     /// Serve kernel gathers from the packed varint CSR.
     pub fn packed_adjacency(mut self, on: bool) -> Self {
         self.packed_adjacency = on;
+        self
+    }
+
+    /// Cap the engine's resident set (see [`EngineOptions::memory_budget`]).
+    pub fn memory_budget(mut self, budget: MemoryBudget) -> Self {
+        self.memory_budget = budget;
         self
     }
 
@@ -221,11 +236,15 @@ pub(crate) fn publish_iteration_sample(tally: &[PartitionTally], mailbox_sizes: 
 }
 
 /// The propagation engine bound to a cluster + partitioned graph.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone)]
 pub struct PropagationEngine<'a> {
     cluster: &'a SimCluster,
     graph: &'a PartitionedGraph,
     options: EngineOptions,
+    /// Spill store backing the out-of-core lane; created once per engine so
+    /// edge blocks are written once and reread across iterations. `None`
+    /// when the budget is unlimited.
+    ooc: Option<Arc<OocSession>>,
 }
 
 impl<'a> PropagationEngine<'a> {
@@ -237,7 +256,8 @@ impl<'a> PropagationEngine<'a> {
                 "partition {pid} placed outside the cluster"
             );
         }
-        PropagationEngine { cluster, graph, options }
+        let ooc = options.memory_budget.limit().map(|b| Arc::new(OocSession::new(b)));
+        PropagationEngine { cluster, graph, options, ooc }
     }
 
     /// The bound partitioned graph.
@@ -253,6 +273,30 @@ impl<'a> PropagationEngine<'a> {
     /// The active options.
     pub fn options(&self) -> EngineOptions {
         self.options
+    }
+
+    /// Will a program with this per-vertex state size run through the
+    /// out-of-core lane? True exactly when a memory budget is configured
+    /// and the program's [`working_set_bytes`] exceeds it.
+    pub fn spill_active(&self, state_bytes: u64) -> bool {
+        match (&self.ooc, self.options.memory_budget.limit()) {
+            (Some(_), Some(budget)) => working_set_bytes(self.graph, state_bytes) > budget,
+            _ => false,
+        }
+    }
+
+    /// Run one iteration while injecting disk faults into the spill files
+    /// of the out-of-core lane (chaos testing). With an unlimited budget —
+    /// or a working set under it — nothing spills and the faults have no
+    /// surface to land on, so this behaves exactly like
+    /// [`PropagationEngine::run_iteration`].
+    pub fn run_iteration_with_spill_faults<P: Propagation>(
+        &self,
+        prog: &P,
+        state: &mut [P::State],
+        spill_faults: &[SpillFault],
+    ) -> SurferResult<ExecReport> {
+        Ok(self.run_iteration_inner(prog, state, None, &[], spill_faults)?.0)
     }
 
     /// Initialize the per-vertex state vector for a program.
@@ -286,7 +330,7 @@ impl<'a> PropagationEngine<'a> {
         state: &mut [P::State],
         disk_fraction: Option<&[f64]>,
     ) -> SurferResult<ExecReport> {
-        Ok(self.run_iteration_inner(prog, state, disk_fraction, &[])?.0)
+        Ok(self.run_iteration_inner(prog, state, disk_fraction, &[], &[])?.0)
     }
 
     /// Run one iteration and also report how many messages `transfer`
@@ -297,7 +341,7 @@ impl<'a> PropagationEngine<'a> {
         prog: &P,
         state: &mut [P::State],
     ) -> SurferResult<(ExecReport, u64)> {
-        self.run_iteration_inner(prog, state, None, &[])
+        self.run_iteration_inner(prog, state, None, &[], &[])
     }
 
     /// Iterate until an iteration emits no messages (quiescence, the
@@ -336,16 +380,30 @@ impl<'a> PropagationEngine<'a> {
         state: &mut [P::State],
         faults: &[Fault],
     ) -> SurferResult<ExecReport> {
-        Ok(self.run_iteration_inner(prog, state, None, faults)?.0)
+        Ok(self.run_iteration_inner(prog, state, None, faults, &[])?.0)
     }
 
-    fn run_iteration_inner<P: Propagation>(
+    pub(crate) fn run_iteration_inner<P: Propagation>(
         &self,
         prog: &P,
         state: &mut [P::State],
         disk_fraction: Option<&[f64]>,
         faults: &[Fault],
+        spill_faults: &[SpillFault],
     ) -> SurferResult<(ExecReport, u64)> {
+        if self.spill_active(prog.state_bytes()) {
+            // lint:allow(E1, spill_active is only true when self.ooc is Some)
+            let session = self.ooc.as_ref().expect("spill_active implies a session");
+            return crate::ooc::run_iteration_spilled(
+                self,
+                session,
+                prog,
+                state,
+                disk_fraction,
+                faults,
+                spill_faults,
+            );
+        }
         let _iter_span = surfer_obs::span_seq("prop.iteration");
         let pg = self.graph;
         let g = pg.graph();

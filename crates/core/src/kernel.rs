@@ -537,7 +537,7 @@ impl<'a> PropagationEngine<'a> {
         prog: &P,
         state: &mut [P::State],
     ) -> SurferResult<(ExecReport, u64)> {
-        if !self.options().vectorized {
+        if !self.options().vectorized || self.spill_active(prog.state_bytes()) {
             note_fallback(surfer_obs::names::KERNEL_FALLBACK_ROUNDS, 1);
             return self.run_iteration_counted(prog, state);
         }
@@ -553,7 +553,7 @@ impl<'a> PropagationEngine<'a> {
         state: &mut [P::State],
         disk_fraction: Option<&[f64]>,
     ) -> SurferResult<ExecReport> {
-        if !self.options().vectorized {
+        if !self.options().vectorized || self.spill_active(prog.state_bytes()) {
             note_fallback(surfer_obs::names::KERNEL_FALLBACK_ROUNDS, 1);
             return self.run_iteration_discounted(prog, state, disk_fraction);
         }
@@ -569,7 +569,7 @@ impl<'a> PropagationEngine<'a> {
         state: &mut [P::State],
         iterations: u32,
     ) -> SurferResult<ExecReport> {
-        if !self.options().vectorized {
+        if !self.options().vectorized || self.spill_active(prog.state_bytes()) {
             note_fallback(surfer_obs::names::KERNEL_FALLBACK_ROUNDS, iterations as u64);
             return self.run(prog, state, iterations);
         }
@@ -589,7 +589,7 @@ impl<'a> PropagationEngine<'a> {
         state: &mut [P::State],
         max_iterations: u32,
     ) -> SurferResult<(ExecReport, u32)> {
-        if !self.options().vectorized {
+        if !self.options().vectorized || self.spill_active(prog.state_bytes()) {
             let out = self.run_until_converged(prog, state, max_iterations)?;
             note_fallback(surfer_obs::names::KERNEL_FALLBACK_ROUNDS, out.1 as u64);
             return Ok(out);

@@ -19,6 +19,7 @@ pub mod column;
 pub mod engine;
 pub mod error;
 pub mod kernel;
+pub mod ooc;
 pub mod opt;
 pub mod pipeline;
 pub mod primitive;
@@ -32,6 +33,7 @@ pub use column::{ColumnarState, StateColumn};
 pub use engine::{EngineOptions, PropagationEngine};
 pub use error::{SurferError, SurferResult};
 pub use kernel::{ColumnValue, KernelPlan, VectorizedProgram, VectorizedVirtualTask};
+pub use ooc::{working_set_bytes, MemoryBudget, SpillCodec};
 pub use opt::OptimizationLevel;
 pub use pipeline::{Pipeline, PipelineOutcome, StageKind, StageOutcome};
 pub use primitive::{Propagation, VirtualVertexTask};

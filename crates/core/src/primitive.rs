@@ -73,6 +73,29 @@ pub trait Propagation: Sync {
         12
     }
 
+    /// Can this program's messages round-trip through the out-of-core
+    /// mailbox spill? Programs opting in must implement
+    /// [`Propagation::spill_encode`] / [`Propagation::spill_decode`]
+    /// (usually by delegating to `surfer_core::SpillCodec`); the encoding
+    /// must be self-delimiting and byte-exact. Programs that stay `false`
+    /// still stream their adjacency under a memory budget but keep the
+    /// mailbox resident.
+    fn spill_capable(&self) -> bool {
+        false
+    }
+
+    /// Append `msg`'s spill encoding to `out`. Only called when
+    /// [`Propagation::spill_capable`] is true.
+    fn spill_encode(&self, _msg: &Self::Msg, _out: &mut Vec<u8>) {}
+
+    /// Decode one message from the front of `buf`, advancing it; `None`
+    /// signals damage (surfaced by the engine as a typed storage error,
+    /// never a panic). Only called when [`Propagation::spill_capable`] is
+    /// true.
+    fn spill_decode(&self, _buf: &mut &[u8]) -> Option<Self::Msg> {
+        None
+    }
+
     /// CPU record-operations per transfer call.
     fn transfer_ops(&self) -> f64 {
         1.0

@@ -4,6 +4,7 @@
 
 use crate::engine::{EngineOptions, PropagationEngine};
 use crate::error::SurferResult;
+use crate::ooc::MemoryBudget;
 use crate::opt::OptimizationLevel;
 use std::sync::Arc;
 use surfer_cluster::{ExecReport, SimCluster};
@@ -60,6 +61,7 @@ pub struct SurferBuilder {
     bisect: BisectConfig,
     threads: usize,
     vectorized: bool,
+    memory_budget: MemoryBudget,
 }
 
 impl SurferBuilder {
@@ -75,6 +77,17 @@ impl SurferBuilder {
     /// default; results are bit-identical either way).
     pub fn vectorized(mut self, on: bool) -> Self {
         self.vectorized = on;
+        self
+    }
+
+    /// Cap the engines' resident set. With a limited budget, programs whose
+    /// working set (adjacency + vertex state; see
+    /// [`crate::working_set_bytes`]) exceeds it run out-of-core: adjacency
+    /// streamed from disk edge blocks and — for spill-capable programs —
+    /// the mailbox spilled to segment files. Results stay bit-identical to
+    /// the unlimited engine.
+    pub fn memory_budget(mut self, budget: MemoryBudget) -> Self {
+        self.memory_budget = budget;
         self
     }
 
@@ -120,6 +133,7 @@ impl SurferBuilder {
             optimization: self.optimization,
             threads: self.threads,
             vectorized: self.vectorized,
+            memory_budget: self.memory_budget,
         }
     }
 
@@ -134,6 +148,7 @@ impl SurferBuilder {
             optimization: self.optimization,
             threads: self.threads,
             vectorized: self.vectorized,
+            memory_budget: self.memory_budget,
         }
     }
 }
@@ -148,6 +163,7 @@ pub struct Surfer {
     optimization: OptimizationLevel,
     threads: usize,
     vectorized: bool,
+    memory_budget: MemoryBudget,
 }
 
 impl Surfer {
@@ -160,12 +176,18 @@ impl Surfer {
             bisect: BisectConfig::default(),
             threads: 0,
             vectorized: true,
+            memory_budget: MemoryBudget::unlimited(),
         }
     }
 
     /// The host worker-thread knob (`0` = auto).
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// The configured memory budget.
+    pub fn memory_budget(&self) -> MemoryBudget {
+        self.memory_budget
     }
 
     /// The cluster.
@@ -196,7 +218,8 @@ impl Surfer {
             &self.pg,
             EngineOptions::from_level(self.optimization)
                 .threads(self.threads)
-                .vectorized(self.vectorized),
+                .vectorized(self.vectorized)
+                .memory_budget(self.memory_budget),
         )
     }
 

@@ -25,6 +25,7 @@
 
 pub mod adjacency;
 pub mod adjacency_varint;
+pub mod block;
 pub mod builder;
 pub mod csr;
 pub mod edge;

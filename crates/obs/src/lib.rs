@@ -120,6 +120,27 @@ pub mod names {
     /// Per-tenant job latency in simulated microseconds (labeled histogram,
     /// label = tenant id).
     pub const SERVE_TENANT_LATENCY_US: &str = "serve.tenant.latency_us";
+
+    // The `spill.*` namespace: the out-of-core lane (`surfer-core/src/ooc`).
+    // Byte and frame totals are functions of the graph, program and budget
+    // alone (frame boundaries derive from the budget, never the thread
+    // schedule), so they are deterministic and baseline-pinnable.
+
+    /// Bytes written to spill files (edge blocks + mailbox segments,
+    /// framing included).
+    pub const SPILL_BYTES_SPILLED: &str = "spill.bytes_spilled";
+    /// Bytes read back from spill files (framing included).
+    pub const SPILL_BYTES_REREAD: &str = "spill.bytes_reread";
+    /// Edge-block frames written (once per engine session).
+    pub const SPILL_EDGE_BLOCKS_WRITTEN: &str = "spill.edge_blocks_written";
+    /// Edge-block frames streamed by Transfer scans.
+    pub const SPILL_EDGE_BLOCKS_READ: &str = "spill.edge_blocks_read";
+    /// Mailbox-segment frames written by Transfer.
+    pub const SPILL_MAILBOX_FRAMES_WRITTEN: &str = "spill.mailbox_frames_written";
+    /// Mailbox-segment frames replayed by Combine.
+    pub const SPILL_MAILBOX_FRAMES_READ: &str = "spill.mailbox_frames_read";
+    /// Iterations executed on the out-of-core lane.
+    pub const SPILL_ITERATIONS: &str = "spill.iterations";
 }
 
 static ENABLED: AtomicBool = AtomicBool::new(false);

@@ -60,6 +60,204 @@ const SNAPSHOT_MAGIC: &[u8; 4] = b"SFSN";
 /// Snapshot header: magic(4) + iteration(4) + pid(4) + len(8) + crc(4).
 const SNAPSHOT_HEADER: usize = 24;
 
+/// Magic prefix of a spill frame (out-of-core edge blocks and mailbox
+/// segments). Same 24-byte header shape as a snapshot, but spill files are
+/// *streams* of frames: a file holds any number of them back to back, read
+/// sequentially by [`FrameReader`].
+pub const SPILL_MAGIC: &[u8; 4] = b"SFSP";
+/// Frame header size: magic(4) + a(4) + b(4) + len(8) + crc(4).
+pub const FRAME_HEADER: usize = 24;
+
+/// Append one CRC32-guarded frame to `buf`.
+///
+/// The header carries two caller-defined tags `a` and `b` (a partition id
+/// and a block/segment sequence number for the out-of-core spill files),
+/// the payload length and the payload's CRC32. This is the same framing
+/// discipline as [`write_snapshot`], generalized so spill files can hold
+/// many frames per file.
+pub fn encode_frame(buf: &mut Vec<u8>, magic: &[u8; 4], a: u32, b: u32, payload: &[u8]) {
+    buf.reserve(FRAME_HEADER + payload.len());
+    buf.extend_from_slice(magic);
+    buf.extend_from_slice(&a.to_le_bytes());
+    buf.extend_from_slice(&b.to_le_bytes());
+    buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    buf.extend_from_slice(&crc32(payload).to_le_bytes());
+    buf.extend_from_slice(payload);
+}
+
+/// One decoded frame: the two header tags and the verified payload.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Frame {
+    /// First header tag (partition id for spill files).
+    pub a: u32,
+    /// Second header tag (block / segment sequence number).
+    pub b: u32,
+    /// The checksum-verified payload.
+    pub payload: Vec<u8>,
+}
+
+/// Sequential reader over a stream of frames written by [`encode_frame`].
+///
+/// Any damage — wrong magic, truncated header or payload, checksum
+/// mismatch — surfaces as [`GraphError::Corrupt`] (or [`GraphError::Io`]
+/// for host I/O failures), never as a panic or a silently wrong payload.
+#[derive(Debug)]
+pub struct FrameReader {
+    blob: Vec<u8>,
+    pos: usize,
+    magic: [u8; 4],
+    what: String,
+}
+
+impl FrameReader {
+    /// Open `path` and verify nothing yet; frames are checked as they are
+    /// read. `what` names the stream in error messages.
+    pub fn open(path: impl AsRef<Path>, magic: &[u8; 4], what: &str) -> Result<FrameReader> {
+        let blob = std::fs::read(path.as_ref())?;
+        Ok(FrameReader::from_bytes(blob, magic, what))
+    }
+
+    /// Read frames from an in-memory blob (the codec tests and proptests).
+    pub fn from_bytes(blob: Vec<u8>, magic: &[u8; 4], what: &str) -> FrameReader {
+        FrameReader { blob, pos: 0, magic: *magic, what: what.to_string() }
+    }
+
+    /// Total bytes in the underlying stream.
+    pub fn len_bytes(&self) -> u64 {
+        self.blob.len() as u64
+    }
+
+    /// Decode the next frame, or `Ok(None)` at a clean end of stream.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>> {
+        let corrupt = |what: &str, msg: String| GraphError::Corrupt(format!("{what}: {msg}"));
+        if self.pos == self.blob.len() {
+            return Ok(None);
+        }
+        let rest = &self.blob[self.pos..];
+        if rest.len() < FRAME_HEADER {
+            return Err(corrupt(
+                &self.what,
+                format!("truncated frame header ({} trailing bytes)", rest.len()),
+            ));
+        }
+        if rest[..4] != self.magic {
+            return Err(corrupt(&self.what, "bad frame magic".into()));
+        }
+        let le32 = |at: usize| u32::from_le_bytes([rest[at], rest[at + 1], rest[at + 2], rest[at + 3]]);
+        let a = le32(4);
+        let b = le32(8);
+        let len = (le32(12) as u64 | ((le32(16) as u64) << 32)) as usize;
+        let crc = le32(20);
+        if rest.len() < FRAME_HEADER + len {
+            return Err(corrupt(
+                &self.what,
+                format!("frame payload truncated ({} of {len} bytes)", rest.len() - FRAME_HEADER),
+            ));
+        }
+        let payload = &rest[FRAME_HEADER..FRAME_HEADER + len];
+        let actual = crc32(payload);
+        if actual != crc {
+            return Err(corrupt(
+                &self.what,
+                format!("frame checksum mismatch (stored {crc:#010x}, computed {actual:#010x})"),
+            ));
+        }
+        self.pos += FRAME_HEADER + len;
+        Ok(Some(Frame { a, b, payload: payload.to_vec() }))
+    }
+}
+
+/// Refuse frame payloads above this size: a corrupted length field with a
+/// plausible magic must not drive a huge allocation before the truncation
+/// check can fire.
+const MAX_FRAME_PAYLOAD: u64 = 1 << 30;
+
+/// Incremental reader over a stream of frames from any [`std::io::Read`] —
+/// the out-of-core engine's way of scanning spill files without holding a
+/// whole file in memory. Same layout and error discipline as
+/// [`FrameReader`].
+#[derive(Debug)]
+pub struct FrameStream<R> {
+    inner: R,
+    magic: [u8; 4],
+    what: String,
+    bytes_read: u64,
+}
+
+impl FrameStream<std::io::BufReader<std::fs::File>> {
+    /// Open `path` behind a buffered reader.
+    pub fn open(path: impl AsRef<Path>, magic: &[u8; 4], what: &str) -> Result<Self> {
+        let f = std::fs::File::open(path.as_ref())?;
+        Ok(FrameStream::new(std::io::BufReader::new(f), magic, what))
+    }
+}
+
+impl<R: std::io::Read> FrameStream<R> {
+    /// Wrap a reader. `what` names the stream in error messages.
+    pub fn new(inner: R, magic: &[u8; 4], what: &str) -> FrameStream<R> {
+        FrameStream { inner, magic: *magic, what: what.to_string(), bytes_read: 0 }
+    }
+
+    /// Frame bytes (headers + payloads) consumed so far.
+    pub fn bytes_read(&self) -> u64 {
+        self.bytes_read
+    }
+
+    /// Decode the next frame, or `Ok(None)` at a clean end of stream.
+    pub fn next_frame(&mut self) -> Result<Option<Frame>> {
+        let corrupt = |what: &str, msg: String| GraphError::Corrupt(format!("{what}: {msg}"));
+        // A clean end of stream is EOF exactly on a frame boundary; EOF
+        // anywhere inside the header is damage.
+        let mut header = [0u8; FRAME_HEADER];
+        let mut got = 0usize;
+        while got < FRAME_HEADER {
+            let n = self.inner.read(&mut header[got..])?;
+            if n == 0 {
+                break;
+            }
+            got += n;
+        }
+        if got == 0 {
+            return Ok(None);
+        }
+        if got < FRAME_HEADER {
+            return Err(corrupt(
+                &self.what,
+                format!("truncated frame header ({got} trailing bytes)"),
+            ));
+        }
+        if header[..4] != self.magic {
+            return Err(corrupt(&self.what, "bad frame magic".into()));
+        }
+        let le32 =
+            |at: usize| u32::from_le_bytes([header[at], header[at + 1], header[at + 2], header[at + 3]]);
+        let a = le32(4);
+        let b = le32(8);
+        let len = le32(12) as u64 | ((le32(16) as u64) << 32);
+        let crc = le32(20);
+        if len > MAX_FRAME_PAYLOAD {
+            return Err(corrupt(&self.what, format!("implausible frame length {len}")));
+        }
+        let mut payload = vec![0u8; len as usize];
+        self.inner.read_exact(&mut payload).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                corrupt(&self.what, format!("frame payload truncated (wanted {len} bytes)"))
+            } else {
+                GraphError::Io(e)
+            }
+        })?;
+        let actual = crc32(&payload);
+        if actual != crc {
+            return Err(corrupt(
+                &self.what,
+                format!("frame checksum mismatch (stored {crc:#010x}, computed {actual:#010x})"),
+            ));
+        }
+        self.bytes_read += FRAME_HEADER as u64 + len;
+        Ok(Some(Frame { a, b, payload }))
+    }
+}
+
 /// Write a checksummed state snapshot of partition `pid` at checkpoint
 /// iteration `iteration` to `path` (parent directories created if missing).
 ///
@@ -73,13 +271,9 @@ pub fn write_snapshot(path: impl AsRef<Path>, iteration: u32, pid: u32, payload:
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
+    // A snapshot is exactly one frame of the shared container format.
     let mut buf = Vec::with_capacity(SNAPSHOT_HEADER + payload.len());
-    buf.extend_from_slice(SNAPSHOT_MAGIC);
-    buf.extend_from_slice(&iteration.to_le_bytes());
-    buf.extend_from_slice(&pid.to_le_bytes());
-    buf.extend_from_slice(&(payload.len() as u64).to_le_bytes());
-    buf.extend_from_slice(&crc32(payload).to_le_bytes());
-    buf.extend_from_slice(payload);
+    encode_frame(&mut buf, SNAPSHOT_MAGIC, iteration, pid, payload);
     let tmp = path.with_extension("tmp");
     std::fs::write(&tmp, &buf)?;
     std::fs::rename(&tmp, path)?;
@@ -100,40 +294,23 @@ pub fn write_snapshot(path: impl AsRef<Path>, iteration: u32, pid: u32, payload:
 pub fn read_snapshot(path: impl AsRef<Path>, expect_pid: u32) -> Result<(u32, Vec<u8>)> {
     let _s = surfer_obs::span_with("fs.snapshot.read", || format!("p{expect_pid}"));
     let path = path.as_ref();
-    let blob = std::fs::read(path)?;
+    let what = format!("snapshot {}", path.display());
+    let mut reader = FrameReader::open(path, SNAPSHOT_MAGIC, &what)?;
     if surfer_obs::enabled() {
         surfer_obs::counter_add("fs.snapshot.reads", 1);
-        surfer_obs::counter_add("fs.snapshot.read_bytes", blob.len() as u64);
+        surfer_obs::counter_add("fs.snapshot.read_bytes", reader.len_bytes());
     }
-    let corrupt =
-        |msg: String| GraphError::Corrupt(format!("snapshot {}: {msg}", path.display()));
-    if blob.len() < SNAPSHOT_HEADER || &blob[..4] != SNAPSHOT_MAGIC {
-        return Err(corrupt("bad magic or truncated header".into()));
-    }
-    // Infallible header decode: the length check above guarantees every
-    // fixed-size field is present, so index arithmetic never needs unwrap.
-    let le32 = |at: usize| {
-        u32::from_le_bytes([blob[at], blob[at + 1], blob[at + 2], blob[at + 3]])
+    let corrupt = |msg: String| GraphError::Corrupt(format!("{what}: {msg}"));
+    let Some(frame) = reader.next_frame()? else {
+        return Err(corrupt("empty snapshot file".into()));
     };
-    let iteration = le32(4);
-    let pid = le32(8);
-    let len = (le32(12) as u64 | ((le32(16) as u64) << 32)) as usize;
-    let crc = le32(20);
-    if pid != expect_pid {
-        return Err(corrupt(format!("holds partition {pid}, expected {expect_pid}")));
+    if frame.b != expect_pid {
+        return Err(corrupt(format!("holds partition {}, expected {expect_pid}", frame.b)));
     }
-    if blob.len() != SNAPSHOT_HEADER + len {
-        return Err(corrupt(format!(
-            "payload is {} bytes, header says {len}",
-            blob.len() - SNAPSHOT_HEADER.min(blob.len())
-        )));
+    if reader.next_frame()?.is_some() {
+        return Err(corrupt("trailing data after the snapshot frame".into()));
     }
-    let payload = &blob[SNAPSHOT_HEADER..];
-    let actual = crc32(payload);
-    if actual != crc {
-        return Err(corrupt(format!("checksum mismatch (stored {crc:#010x}, computed {actual:#010x})")));
-    }
-    Ok((iteration, payload.to_vec()))
+    Ok((frame.a, frame.payload))
 }
 
 /// Manifest of a stored partitioned graph.
@@ -435,6 +612,59 @@ mod tests {
             matches!(err, GraphError::Corrupt(ref m) if m.contains("checksum")),
             "expected checksum error, got {err:?}"
         );
+    }
+
+    #[test]
+    fn frame_stream_roundtrips_many_frames() {
+        let mut blob = Vec::new();
+        let payloads: Vec<Vec<u8>> =
+            (0..5u8).map(|i| (0..50 * i as usize).map(|j| (i as usize * 31 + j) as u8).collect()).collect();
+        for (i, p) in payloads.iter().enumerate() {
+            encode_frame(&mut blob, SPILL_MAGIC, 7, i as u32, p);
+        }
+        // Blob-based reader and incremental stream agree frame for frame.
+        let mut reader = FrameReader::from_bytes(blob.clone(), SPILL_MAGIC, "t");
+        let mut stream = FrameStream::new(&blob[..], SPILL_MAGIC, "t");
+        for (i, p) in payloads.iter().enumerate() {
+            let a = reader.next_frame().unwrap().unwrap();
+            let b = stream.next_frame().unwrap().unwrap();
+            assert_eq!(a, b);
+            assert_eq!(a.a, 7);
+            assert_eq!(a.b, i as u32);
+            assert_eq!(&a.payload, p);
+        }
+        assert!(reader.next_frame().unwrap().is_none());
+        assert!(stream.next_frame().unwrap().is_none());
+        assert_eq!(stream.bytes_read(), blob.len() as u64);
+    }
+
+    #[test]
+    fn frame_stream_reports_damage_as_corrupt() {
+        let mut blob = Vec::new();
+        encode_frame(&mut blob, SPILL_MAGIC, 1, 0, b"payload bytes");
+        encode_frame(&mut blob, SPILL_MAGIC, 1, 1, b"more payload");
+
+        // Truncated second payload.
+        let cut = &blob[..blob.len() - 4];
+        let mut s = FrameStream::new(cut, SPILL_MAGIC, "t");
+        s.next_frame().unwrap().unwrap();
+        assert!(matches!(s.next_frame(), Err(GraphError::Corrupt(ref m)) if m.contains("truncated")));
+
+        // Truncated header of the second frame.
+        let cut = &blob[..FRAME_HEADER + 13 + 5];
+        let mut s = FrameStream::new(cut, SPILL_MAGIC, "t");
+        s.next_frame().unwrap().unwrap();
+        assert!(matches!(s.next_frame(), Err(GraphError::Corrupt(ref m)) if m.contains("header")));
+
+        // Flipped payload byte.
+        let mut bad = blob.clone();
+        bad[FRAME_HEADER + 2] ^= 0x40;
+        let mut s = FrameStream::new(&bad[..], SPILL_MAGIC, "t");
+        assert!(matches!(s.next_frame(), Err(GraphError::Corrupt(ref m)) if m.contains("checksum")));
+
+        // Wrong magic.
+        let mut s = FrameStream::new(&blob[..], SNAPSHOT_MAGIC, "t");
+        assert!(matches!(s.next_frame(), Err(GraphError::Corrupt(ref m)) if m.contains("magic")));
     }
 
     #[test]

@@ -9,10 +9,11 @@ use std::sync::Arc;
 use surfer::apps::pagerank::PageRankPropagation;
 use surfer::cluster::{
     ClusterConfig, FaultPlan, MachineCrash, MachineId, SimCluster, SnapshotCorruption,
-    SnapshotWriteFailure, UdfPanicAt,
+    SnapshotWriteFailure, SpillFault, SpillFaultKind, UdfPanicAt,
 };
 use surfer::core::{
-    run_with_recovery, EngineOptions, PropagationEngine, RecoveryConfig, SurferError,
+    run_with_recovery, working_set_bytes, EngineOptions, MemoryBudget, Propagation,
+    PropagationEngine, RecoveryConfig, SurferError,
 };
 use surfer::graph::builder::from_edges;
 use surfer::partition::{PartitionedGraph, Partitioning};
@@ -291,6 +292,116 @@ fn write_retry_exhaustion_is_a_typed_error() {
     let _ = std::fs::remove_dir_all(&cfg.dir);
 }
 
+/// A memory budget small enough that every iteration of the fixture job
+/// runs through the out-of-core spill lane.
+fn spill_budget(pg: &surfer::partition::PartitionedGraph) -> MemoryBudget {
+    MemoryBudget::bytes((working_set_bytes(pg, prog().state_bytes()) / 10).max(1))
+}
+
+/// Disk faults on spill I/O — a short write and a corrupted spill block in
+/// different iterations — recover cleanly under `run_with_recovery`: the
+/// faulted attempt fails typed with states untouched, the retry rewrites
+/// the spill files, and the final states are bit-identical to the all-in-RAM
+/// fault-free run at every thread count.
+#[test]
+fn spill_disk_faults_recover_cleanly_and_stay_bit_identical() {
+    let (c, pg) = fixture();
+    let p = prog();
+    let engine = PropagationEngine::new(&c, &pg, EngineOptions::full());
+    let mut baseline = engine.init_state(&p);
+    engine.run(&p, &mut baseline, ITERATIONS).unwrap();
+
+    let plan = FaultPlan {
+        spill_faults: vec![
+            SpillFault { iteration: 1, partition: 2, kind: SpillFaultKind::ShortWrite },
+            SpillFault { iteration: 3, partition: 0, kind: SpillFaultKind::CorruptEdgeBlock },
+            SpillFault { iteration: 4, partition: 3, kind: SpillFaultKind::CorruptFrame },
+        ],
+        ..FaultPlan::none()
+    };
+    for threads in [1usize, 2, 0] {
+        let opts = EngineOptions::full().threads(threads).memory_budget(spill_budget(&pg));
+        let cfg = RecoveryConfig::new(INTERVAL, tmp(&format!("spill-{threads}")));
+        let mut state = engine.init_state(&p);
+        let out =
+            run_with_recovery(&c, &pg, opts, &p, &mut state, ITERATIONS, &cfg, &plan).unwrap();
+        assert_eq!(
+            bits(&state),
+            bits(&baseline),
+            "threads={threads}: spill-fault recovery diverged from the in-memory run"
+        );
+        assert_eq!(out.stats.spill_retries, 3, "each faulted iteration retries exactly once");
+        assert_eq!(out.stats.restores, 0, "spill faults never roll back to a checkpoint");
+        let _ = std::fs::remove_dir_all(&cfg.dir);
+    }
+}
+
+/// A corrupt spill block mid-run surfaces as a typed `Storage` error from the
+/// engine with *every* partition's state untouched (writeback is deferred
+/// until all workers succeed), and a plain re-run of the same iteration
+/// matches the fault-free result bit-for-bit.
+#[test]
+fn corrupt_spill_block_is_typed_and_leaves_all_partitions_untouched() {
+    let (c, pg) = fixture();
+    let p = prog();
+    let clean = PropagationEngine::new(&c, &pg, EngineOptions::full());
+    let mut expect = clean.init_state(&p);
+    clean.run_iteration(&p, &mut expect).unwrap();
+
+    let spilling =
+        PropagationEngine::new(&c, &pg, EngineOptions::full().memory_budget(spill_budget(&pg)));
+    for kind in
+        [SpillFaultKind::ShortWrite, SpillFaultKind::CorruptFrame, SpillFaultKind::CorruptEdgeBlock]
+    {
+        let mut state = spilling.init_state(&p);
+        let before = bits(&state);
+        let fault = SpillFault { iteration: 0, partition: 1, kind };
+        let err = spilling
+            .run_iteration_with_spill_faults(&p, &mut state, &[fault])
+            .unwrap_err();
+        assert!(
+            matches!(err, SurferError::Storage(_)),
+            "{kind:?}: expected a typed Storage error, got {err:?}"
+        );
+        assert_eq!(bits(&state), before, "{kind:?}: a failed iteration must not touch state");
+        // The engine dropped its damaged spill files; the retry rewrites
+        // them and lands on the in-memory result exactly.
+        spilling.run_iteration(&p, &mut state).unwrap();
+        assert_eq!(bits(&state), bits(&expect), "{kind:?}: retry diverged from in-memory");
+    }
+}
+
+/// Spill faults compose with the rest of the chaos schedule: a machine crash,
+/// a UDF panic, and spill-I/O damage in one job still converge bit-identically.
+#[test]
+fn spill_faults_compose_with_crashes_and_udf_panics() {
+    let (c, pg) = fixture();
+    let p = prog();
+    let engine = PropagationEngine::new(&c, &pg, EngineOptions::full());
+    let mut baseline = engine.init_state(&p);
+    engine.run(&p, &mut baseline, ITERATIONS).unwrap();
+
+    let plan = FaultPlan {
+        crashes: vec![MachineCrash { machine: MachineId(3), at_iteration: 4 }],
+        udf_panics: vec![UdfPanicAt { iteration: 2, vertex: 7 }],
+        spill_faults: vec![SpillFault {
+            iteration: 1,
+            partition: 3,
+            kind: SpillFaultKind::CorruptFrame,
+        }],
+        ..FaultPlan::none()
+    };
+    let opts = EngineOptions::full().memory_budget(spill_budget(&pg));
+    let cfg = RecoveryConfig::new(INTERVAL, tmp("spill-compose"));
+    let mut state = engine.init_state(&p);
+    let out = run_with_recovery(&c, &pg, opts, &p, &mut state, ITERATIONS, &cfg, &plan).unwrap();
+    assert_eq!(bits(&state), bits(&baseline), "composed chaos diverged from fault-free");
+    assert_eq!(out.stats.spill_retries, 1);
+    assert_eq!(out.stats.machine_crashes, 1);
+    assert!(out.stats.udf_retries >= 1);
+    let _ = std::fs::remove_dir_all(&cfg.dir);
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(16))]
 
@@ -332,5 +443,29 @@ proptest! {
         }
         prop_assert_eq!(&reports[0].0, &reports[1].0, "same seed must replay the same report");
         prop_assert_eq!(&reports[0].1, &reports[1].1, "same seed must replay the same stats");
+    }
+
+    /// The same seeded chaos schedules stay bit-identical when the whole job
+    /// runs out-of-core under a heavy-spill memory budget.
+    #[test]
+    fn seeded_fault_plans_recover_identically_when_spilling(seed in 0u64..200) {
+        let (c, pg) = fixture();
+        let p = prog();
+        let engine = PropagationEngine::new(&c, &pg, EngineOptions::full());
+        let mut baseline = engine.init_state(&p);
+        engine.run(&p, &mut baseline, ITERATIONS).unwrap();
+
+        let plan = FaultPlan::random(seed, 4, ITERATIONS, 4, 12);
+        let opts = EngineOptions::full().memory_budget(spill_budget(&pg));
+        let cfg = RecoveryConfig::new(INTERVAL, tmp(&format!("spill-seed-{seed}")));
+        let mut state = engine.init_state(&p);
+        run_with_recovery(&c, &pg, opts, &p, &mut state, ITERATIONS, &cfg, &plan).unwrap();
+        prop_assert_eq!(
+            bits(&state),
+            bits(&baseline),
+            "seed {}: spilled chaos run diverged from the in-memory fault-free run",
+            seed
+        );
+        let _ = std::fs::remove_dir_all(&cfg.dir);
     }
 }
