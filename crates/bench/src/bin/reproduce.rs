@@ -24,8 +24,14 @@
 //! per-thread span Gantt, and exits non-zero on schema drift (after printing
 //! a field-level diff). `perfetto` writes the same session as Chrome Trace
 //! Event JSON (`TRACE_perfetto.json`, loadable at ui.perfetto.dev).
-//! `baseline` snapshots the deterministic flight-recorder metrics into
-//! `OBS_baseline.json`; `gate` re-runs the job and fails on any metric
+//! `postmortem` runs the forensics drill: a fault-injected job through the
+//! job manager at thread counts {1, 2, max}, asserting the flight journal's
+//! post-mortem bundle is bit-identical across them, schema-valid, and
+//! attributes the failure to the right job/tenant/iteration — then writes
+//! `POSTMORTEM.json`.
+//! `baseline` snapshots the deterministic flight-recorder metrics (profiled
+//! job + serving benchmark) into `OBS_baseline.json`; `gate` re-runs both
+//! and fails on any metric
 //! drifting beyond tolerance — the CI metrics regression gate. `lint` runs
 //! the `surfer-lint` static-analysis gate against `LINT_baseline.json`
 //! (writing `LINT_report.json`); `lint-baseline` refreshes the baseline.
@@ -74,7 +80,7 @@ fn main() {
         cmd.as_str(),
         "all" | "table1" | "table2" | "table3" | "fig6" | "fig7" | "fig9" | "fig10" | "fig12"
             | "cascade" | "bench" | "chaos" | "profile" | "perfetto" | "gate" | "baseline"
-            | "serve"
+            | "serve" | "postmortem"
     );
     let workload = needs_workload.then(|| {
         eprintln!("# generating + partitioning the MSN-like graph ...");
@@ -111,7 +117,7 @@ fn main() {
                 r.recovery_overhead_pct(),
                 r.bit_identical
             );
-            let (_, _, _, bench_json) = bench_threads::run(wl, 3);
+            let (_, _, _, _, bench_json) = bench_threads::run(wl, 3);
             let json = chaos::splice_into(&bench_json, &chaos_json);
             std::fs::write("BENCH_propagation.json", &json)
                 .unwrap_or_else(|e| die(&format!("writing BENCH_propagation.json: {e}")));
@@ -119,7 +125,7 @@ fn main() {
             println!("{json}");
         }
         "bench" => {
-            let (results, lanes, ooc, json) = bench_threads::run(w.expect("workload"), 3);
+            let (results, lanes, ooc, obs, json) = bench_threads::run(w.expect("workload"), 3);
             for r in &results {
                 eprintln!(
                     "# threads={} ({} resolved): {:.1} ms, {:.0} msgs/s",
@@ -142,6 +148,16 @@ fn main() {
                 ooc.bytes_spilled,
                 ooc.bytes_reread
             );
+            eprintln!(
+                "# obs overhead: journal on {:.1} ms vs off {:.1} ms = {:+.2}% (budget {:.1}%)",
+                obs.journal_on_ms, obs.journal_off_ms, obs.overhead_pct, obs.budget_pct
+            );
+            if obs.overhead_pct > obs.budget_pct {
+                eprintln!(
+                    "# warning: flight-journal overhead exceeded its {:.1}% budget",
+                    obs.budget_pct
+                );
+            }
             std::fs::write("BENCH_propagation.json", &json)
                 .unwrap_or_else(|e| die(&format!("writing BENCH_propagation.json: {e}")));
             eprintln!("# wrote BENCH_propagation.json");
@@ -194,6 +210,26 @@ fn main() {
             eprintln!("# wrote BENCH_serve.json");
             println!("{}", r.json);
         }
+        "postmortem" => {
+            let r = postmortem::run(w.expect("workload"));
+            eprintln!(
+                "# postmortem: bundle bit-identical across thread counts {:?}, fault pinned to \
+                 iteration {}",
+                r.thread_counts,
+                postmortem::FAULT_ITERATION
+            );
+            if !r.problems.is_empty() {
+                eprintln!("error: POSTMORTEM.json failed schema validation:");
+                for p in &r.problems {
+                    eprintln!("  - {p}");
+                }
+                die(&format!("{} bundle schema problem(s)", r.problems.len()));
+            }
+            std::fs::write("POSTMORTEM.json", &r.bundle_json)
+                .unwrap_or_else(|e| die(&format!("writing POSTMORTEM.json: {e}")));
+            eprintln!("# wrote POSTMORTEM.json (schema-valid forensics bundle)");
+            println!("{}", r.bundle_json);
+        }
         "perfetto" => {
             let r = perfetto::run(w.expect("workload"));
             std::fs::write("TRACE_perfetto.json", &r.json)
@@ -213,8 +249,7 @@ fn main() {
         }
         "baseline" => {
             let wl = w.expect("workload");
-            let r = profile::run(wl);
-            let doc = gate::render_baseline(wl, &gate::snapshot(&r.report));
+            let doc = gate::render_baseline(wl, &gate::full_snapshot(wl));
             std::fs::write("OBS_baseline.json", &doc)
                 .unwrap_or_else(|e| die(&format!("writing OBS_baseline.json: {e}")));
             eprintln!("# wrote OBS_baseline.json (commit it to pin the metrics)");
@@ -280,7 +315,7 @@ fn main() {
             );
         }
         other => die(&format!(
-            "unknown experiment '{other}' (all|table1..table5|fig6|fig7|fig9|fig10|fig11|fig12|cascade|ablation|bench|chaos|serve|profile|perfetto|baseline|gate|lint|lint-baseline)"
+            "unknown experiment '{other}' (all|table1..table5|fig6|fig7|fig9|fig10|fig11|fig12|cascade|ablation|bench|chaos|serve|postmortem|profile|perfetto|baseline|gate|lint|lint-baseline)"
         )),
     };
 

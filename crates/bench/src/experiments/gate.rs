@@ -66,6 +66,41 @@ pub fn snapshot(report: &TraceReport) -> Snapshot {
     s
 }
 
+/// Extract the deterministic serving-layer metrics from a `serve`
+/// benchmark trace, namespaced `servebench.` so they never collide with
+/// the profiled job's own `serve.*` counters. Latency sums are *simulated*
+/// microseconds, so they are as pinnable as the admission counters.
+pub fn serve_snapshot(report: &TraceReport) -> Snapshot {
+    let mut s: Snapshot = BTreeMap::new();
+    for (k, v) in &report.counters {
+        if let Some(rest) = k.strip_prefix("serve.") {
+            s.insert(format!("servebench.{rest}"), *v);
+        }
+    }
+    for (k, h) in &report.hists {
+        if let Some(rest) = k.strip_prefix("serve.") {
+            s.insert(format!("servebench.{rest}.count"), h.count);
+            s.insert(format!("servebench.{rest}.sum"), h.sum);
+        }
+    }
+    for ((k, l), h) in &report.labeled_hists {
+        if let Some(rest) = k.strip_prefix("serve.") {
+            s.insert(format!("servebench.{rest}.{l}.count"), h.count);
+            s.insert(format!("servebench.{rest}.{l}.sum"), h.sum);
+        }
+    }
+    s
+}
+
+/// The full gated snapshot: the profiled job's metrics plus the serving
+/// benchmark's deterministic admission/latency counters.
+pub fn full_snapshot(w: &Workload) -> Snapshot {
+    let r = profile::run(w);
+    let mut s = snapshot(&r.report);
+    s.extend(serve_snapshot(&super::serve::run(w).report));
+    s
+}
+
 /// Render a snapshot as the committed `OBS_baseline.json` document.
 pub fn render_baseline(w: &Workload, snap: &Snapshot) -> String {
     let mut out = String::from("{\n");
@@ -194,8 +229,7 @@ pub fn run(w: &Workload, baseline_json: &str) -> Result<Vec<Drift>, String> {
             base.config
         ));
     }
-    let r = profile::run(w);
-    Ok(diff(&base.metrics, &snapshot(&r.report)))
+    Ok(diff(&base.metrics, &full_snapshot(w)))
 }
 
 #[cfg(test)]
@@ -227,6 +261,25 @@ mod tests {
         let parsed = parse_baseline(&doc).expect("round trip");
         assert_eq!(parsed.metrics, snap, "parse must invert render");
         assert!(diff(&parsed.metrics, &snap).is_empty(), "identical snapshot must pass");
+    }
+
+    #[test]
+    fn serve_benchmark_metrics_are_gated_under_their_own_namespace() {
+        let w = tiny();
+        let sv = super::super::serve::run(&w);
+        let snap = serve_snapshot(&sv.report);
+        assert!(snap.contains_key("servebench.submitted"), "{:?}", snap.keys());
+        assert!(snap.contains_key("servebench.admitted"));
+        assert!(snap.contains_key("servebench.latency_us.count"));
+        assert!(snap.contains_key("servebench.latency_us.sum"));
+        assert!(
+            snap.keys().all(|k| k.starts_with("servebench.")),
+            "serve metrics must not collide with the profiled job's own serve.* keys"
+        );
+        // The serving benchmark is simulated-clock deterministic, so the
+        // merged snapshot is just as pinnable as the profiled job's.
+        let again = serve_snapshot(&super::super::serve::run(&w).report);
+        assert_eq!(snap, again, "serve snapshot must replay bit-identically");
     }
 
     #[test]

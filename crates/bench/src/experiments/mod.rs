@@ -18,6 +18,7 @@ pub mod fig9;
 pub mod gate;
 pub mod lint;
 pub mod perfetto;
+pub mod postmortem;
 pub mod profile;
 pub mod serve;
 pub mod table1;

@@ -337,8 +337,47 @@ fn corrupt_snapshot_file(path: &Path) -> SurferResult<()> {
 /// additionally charges checkpoint writes, snapshot restores, recomputed
 /// tail iterations, and the executor's failure-detection/re-execution
 /// rounds.
+///
+/// Every recovery event (crash, restore, failover, retry) lands in the
+/// always-on flight journal under the ambient
+/// [`TraceCtx`](surfer_obs::TraceCtx), and any typed error flushes a
+/// post-mortem bundle attributing the failure to the ambient
+/// job/tenant and the failing iteration (DESIGN.md §15).
 #[allow(clippy::too_many_arguments)]
 pub fn run_with_recovery<P>(
+    cluster: &SimCluster,
+    pg: &PartitionedGraph,
+    options: EngineOptions,
+    prog: &P,
+    state: &mut [P::State],
+    iterations: u32,
+    cfg: &RecoveryConfig,
+    plan: &FaultPlan,
+) -> SurferResult<RecoveryOutcome>
+where
+    P: Propagation,
+    P::State: Checkpointable,
+{
+    // One journal frame for the whole run: it inherits the ambient
+    // job/tenant (the serving layer pushes one) and the loop advances its
+    // iteration in place, so the frame still points at the failing
+    // iteration when an error unwinds out of the inner loop.
+    let _ctx = surfer_obs::journal::ctx_enter(surfer_obs::journal::current_ctx());
+    match run_with_recovery_inner(cluster, pg, options, prog, state, iterations, cfg, plan) {
+        Ok(outcome) => Ok(outcome),
+        Err(e) => {
+            let mut ctx = surfer_obs::journal::current_ctx();
+            if let Some(it) = e.iteration() {
+                ctx.iteration = it;
+            }
+            surfer_obs::postmortem::record_failure(e.variant_name(), &e.to_string(), ctx);
+            Err(e)
+        }
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn run_with_recovery_inner<P>(
     cluster: &SimCluster,
     pg: &PartitionedGraph,
     options: EngineOptions,
@@ -374,6 +413,7 @@ where
 
     let mut it = 0u32;
     while it < iterations {
+        surfer_obs::journal::set_iteration(it);
         let crashed: Vec<MachineId> =
             plan.crashes_at(it).filter(|m| alive[m.0 as usize]).collect();
         let mut iter_faults: Vec<Fault> = Vec::new();
@@ -381,6 +421,9 @@ where
             for &m in &crashed {
                 alive[m.0 as usize] = false;
                 iter_faults.push(Fault { machine: m, at: SimTime::ZERO });
+                surfer_obs::journal::record(surfer_obs::journal::EventKind::MachineCrash {
+                    machine: m.0,
+                });
             }
             stats.machine_crashes += crashed.len() as u32;
             surfer_obs::counter_add("ckpt.machine_crashes", crashed.len() as u64);
@@ -463,11 +506,15 @@ where
                     attempts += 1;
                     stats.spill_retries += 1;
                     surfer_obs::counter_add("ckpt.spill_retries", 1);
+                    surfer_obs::journal::record(surfer_obs::journal::EventKind::SpillRetry);
                 }
                 Err(e) if e.is_retryable() && attempts < cfg.max_udf_retries => {
                     attempts += 1;
                     stats.udf_retries += 1;
                     surfer_obs::counter_add("ckpt.udf_retries", 1);
+                    surfer_obs::journal::record(surfer_obs::journal::EventKind::UdfRetry {
+                        attempt: attempts,
+                    });
                 }
                 Err(e) if e.is_retryable() => {
                     return Err(SurferError::RetriesExhausted {
@@ -512,6 +559,8 @@ fn write_checkpoint<S: Checkpointable>(
     // (home machine, snapshot bytes, replica sinks as (machine, bytes)).
     type CkptSpec = (MachineId, u64, Vec<(MachineId, u64)>);
     let mut specs: Vec<CkptSpec> = Vec::new();
+    // Bytes written by *this* checkpoint round, for the journal event.
+    let mut round_bytes = 0u64;
     let mut sample = surfer_obs::IterationSample::new(surfer_obs::StageKind::Checkpoint);
     // Simulated wait accumulated by transient write-failure retries
     // (exponential backoff: base, 2·base, 4·base, …).
@@ -550,6 +599,7 @@ fn write_checkpoint<S: Checkpointable>(
             let path = snapshot_path(&cfg.dir, m, pid);
             write_snapshot(&path, iteration, pid, &payload)?;
             stats.snapshot_bytes += len;
+            round_bytes += len;
             surfer_obs::counter_add("ckpt.snapshot_bytes", len);
             // Recorder split: the home replica's copy is a local disk
             // write; sibling copies ship the payload over the network.
@@ -571,6 +621,10 @@ fn write_checkpoint<S: Checkpointable>(
     surfer_obs::record_sample(sample);
     stats.checkpoints_written += 1;
     surfer_obs::counter_add("ckpt.writes", 1);
+    surfer_obs::journal::record(surfer_obs::journal::EventKind::CheckpointWrite {
+        checkpoint: iteration,
+        bytes: round_bytes,
+    });
 
     // Simulated cost: the home machine serializes + writes its local copy;
     // each sibling replica receives the payload over the network and writes
@@ -615,6 +669,9 @@ fn restore_checkpoint<S: Checkpointable>(
     stats: &mut RecoveryStats,
 ) -> SurferResult<ExecReport> {
     let _s = surfer_obs::span_with("ckpt.restore", || format!("it{iteration}"));
+    surfer_obs::journal::record(surfer_obs::journal::EventKind::CheckpointRestore {
+        checkpoint: iteration,
+    });
     let mut sources: Vec<(MachineId, u64)> = Vec::new();
     let mut sample = surfer_obs::IterationSample::new(surfer_obs::StageKind::Restore);
     for pid in cur.partitions() {
@@ -624,6 +681,9 @@ fn restore_checkpoint<S: Checkpointable>(
             if !alive[m.0 as usize] {
                 stats.replica_failovers += 1;
                 surfer_obs::counter_add("ckpt.replica_failovers", 1);
+                surfer_obs::journal::record(surfer_obs::journal::EventKind::ReplicaFailover {
+                    partition: pid,
+                });
                 continue;
             }
             let path = snapshot_path(&cfg.dir, m, pid);

@@ -405,6 +405,9 @@ impl<'a> PropagationEngine<'a> {
             );
         }
         let _iter_span = surfer_obs::span_seq("prop.iteration");
+        surfer_obs::journal::record(surfer_obs::journal::EventKind::IterationStart {
+            lane: "resident",
+        });
         let pg = self.graph;
         let g = pg.graph();
         let n = g.num_vertices() as usize;
@@ -584,6 +587,7 @@ impl<'a> PropagationEngine<'a> {
             disk_fraction,
             faults,
         )?;
+        surfer_obs::journal::record(surfer_obs::journal::EventKind::IterationEnd { messages });
         Ok((report, messages))
     }
 
@@ -596,7 +600,9 @@ impl<'a> PropagationEngine<'a> {
         iterations: u32,
     ) -> SurferResult<ExecReport> {
         let mut total = ExecReport::new(self.cluster.num_machines());
-        for _ in 0..iterations {
+        let _ctx = surfer_obs::journal::ctx_enter(surfer_obs::journal::current_ctx());
+        for it in 0..iterations {
+            surfer_obs::journal::set_iteration(it);
             let r = self.run_iteration(prog, state)?;
             total.absorb(&r);
         }

@@ -185,6 +185,34 @@ impl SurferError {
     pub fn is_backpressure(&self) -> bool {
         matches!(self, SurferError::Overloaded { .. } | SurferError::QuotaExceeded { .. })
     }
+
+    /// The variant's stable name, used as the `fault.variant` of post-mortem
+    /// bundles and the `job_failed` journal event.
+    pub fn variant_name(&self) -> &'static str {
+        match self {
+            SurferError::UdfPanic { .. } => "UdfPanic",
+            SurferError::ClusterLost => "ClusterLost",
+            SurferError::ReplicasExhausted { .. } => "ReplicasExhausted",
+            SurferError::RetriesExhausted { .. } => "RetriesExhausted",
+            SurferError::Storage(_) => "Storage",
+            SurferError::MapReduce(_) => "MapReduce",
+            SurferError::Unsupported { .. } => "Unsupported",
+            SurferError::Overloaded { .. } => "Overloaded",
+            SurferError::QuotaExceeded { .. } => "QuotaExceeded",
+            SurferError::DeadlineExceeded { .. } => "DeadlineExceeded",
+        }
+    }
+
+    /// The iteration this error pins the failure to, when the variant
+    /// carries one (post-mortem attribution; `None` = use the ambient
+    /// trace context's iteration).
+    pub fn iteration(&self) -> Option<u32> {
+        match self {
+            SurferError::ReplicasExhausted { iteration, .. }
+            | SurferError::RetriesExhausted { iteration, .. } => Some(*iteration),
+            _ => None,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -233,6 +261,22 @@ mod tests {
         let e = SurferError::DeadlineExceeded { deadline: SimTime(5), now: SimTime(9) };
         assert!(!e.is_backpressure(), "an expired job must not be resubmitted verbatim");
         assert!(e.to_string().contains("deadline"));
+    }
+
+    #[test]
+    fn variant_names_and_iterations_are_stable() {
+        assert_eq!(SurferError::ClusterLost.variant_name(), "ClusterLost");
+        let e = SurferError::ReplicasExhausted { partition: 1, iteration: 2 };
+        assert_eq!(e.variant_name(), "ReplicasExhausted");
+        assert_eq!(e.iteration(), Some(2));
+        let e = SurferError::RetriesExhausted { iteration: 5, attempts: 3 };
+        assert_eq!((e.variant_name(), e.iteration()), ("RetriesExhausted", Some(5)));
+        assert_eq!(SurferError::ClusterLost.iteration(), None);
+        assert_eq!(
+            SurferError::UdfPanic { stage: "transfer", item: 0, message: String::new() }
+                .iteration(),
+            None
+        );
     }
 
     #[test]

@@ -250,6 +250,10 @@ impl OocSession {
             surfer_obs::counter_add(surfer_obs::names::SPILL_BYTES_SPILLED, bytes);
             surfer_obs::counter_add(surfer_obs::names::SPILL_EDGE_BLOCKS_WRITTEN, nblocks);
         }
+        surfer_obs::journal::record(surfer_obs::journal::EventKind::SpillWrite {
+            frames: nblocks,
+            bytes,
+        });
         *ready = true;
         Ok(())
     }
@@ -313,8 +317,9 @@ struct MsgSink<'s> {
 type Routed<M> = Vec<(VertexId, M)>;
 
 /// One partition's Combine output: new member states, combine-call count,
-/// and the nanoseconds its worker spent.
-type CombinedPart<S> = (Vec<S>, u64, u64);
+/// the nanoseconds its worker spent, and the segment frames/bytes it reread
+/// (zero on the resident-mailbox path).
+type CombinedPart<S> = (Vec<S>, u64, u64, u64, u64);
 
 struct SpillOutbox<M> {
     tally: PartitionTally,
@@ -324,6 +329,11 @@ struct SpillOutbox<M> {
     dest_counts: Vec<u64>,
     /// The resident messages when the program has no spill codec.
     mem: Option<Routed<M>>,
+    /// Mailbox-segment frames/bytes this partition's sink wrote (zero when
+    /// the mailbox stays resident) — folded into one flight-journal
+    /// `spill_write` event on the coordinating thread.
+    sink_frames: u64,
+    sink_bytes: u64,
 }
 
 /// Run one fully-spilled propagation iteration. Mirrors
@@ -339,6 +349,7 @@ pub(crate) fn run_iteration_spilled<P: Propagation>(
     spill_faults: &[SpillFault],
 ) -> SurferResult<(ExecReport, u64)> {
     let _iter_span = surfer_obs::span_seq("prop.iteration");
+    surfer_obs::journal::record(surfer_obs::journal::EventKind::IterationStart { lane: "spill" });
     let pg = engine.graph();
     let g = pg.graph();
     let n = g.num_vertices() as usize;
@@ -462,9 +473,13 @@ pub(crate) fn run_iteration_spilled<P: Propagation>(
                 t.cross_msgs += 1;
                 push(&mut sink, &mut mem, &mut dest_counts, q, to, msg)?;
             }
-            if let Some(s) = sink.as_mut() {
-                s.finish()?;
-            }
+            let (sink_frames, sink_bytes) = match sink.as_mut() {
+                Some(s) => {
+                    s.finish()?;
+                    (s.frames_written, s.bytes_written)
+                }
+                None => (0, 0),
+            };
             if surfer_obs::enabled() {
                 surfer_obs::counter_add(surfer_obs::names::SPILL_EDGE_BLOCKS_READ, blocks_read);
                 surfer_obs::counter_add(surfer_obs::names::SPILL_BYTES_REREAD, stream.bytes_read());
@@ -472,7 +487,14 @@ pub(crate) fn run_iteration_spilled<P: Propagation>(
             if t0.is_recording() {
                 t.transfer_ns = t0.elapsed_ns();
             }
-            Ok(SpillOutbox { tally: t, emitted, dest_counts, mem: (!spill_mailbox).then_some(mem) })
+            Ok(SpillOutbox {
+                tally: t,
+                emitted,
+                dest_counts,
+                mem: (!spill_mailbox).then_some(mem),
+                sink_frames,
+                sink_bytes,
+            })
         })
         .map_err(|e| SurferError::from_worker_panic("transfer", e))?;
     drop(transfer_span);
@@ -511,13 +533,22 @@ pub(crate) fn run_iteration_spilled<P: Propagation>(
     let mut tally: Vec<PartitionTally> = Vec::with_capacity(outboxes.len());
     let mut mailbox_totals = vec![0u64; num_parts as usize];
     let mut mem_msgs: Vec<Option<Routed<P::Msg>>> = Vec::with_capacity(outboxes.len());
+    let (mut spilled_frames, mut spilled_bytes) = (0u64, 0u64);
     for mut ob in outboxes {
         messages += ob.emitted;
         for (q, &c) in ob.dest_counts.iter().enumerate() {
             mailbox_totals[q] += c;
         }
+        spilled_frames += ob.sink_frames;
+        spilled_bytes += ob.sink_bytes;
         tally.push(std::mem::take(&mut ob.tally));
         mem_msgs.push(ob.mem);
+    }
+    if spilled_frames > 0 {
+        surfer_obs::journal::record(surfer_obs::journal::EventKind::SpillWrite {
+            frames: spilled_frames,
+            bytes: spilled_bytes,
+        });
     }
     publish_transfer_counters(&tally, messages);
 
@@ -568,10 +599,11 @@ pub(crate) fn run_iteration_spilled<P: Propagation>(
 
             // This partition's incoming messages, in the in-memory fold
             // order: source partitions ascending, emission order within one.
-            let incoming: Vec<(VertexId, P::Msg)> = match inc {
-                Some(msgs) => msgs,
-                None => replay_segments(session, prog, pg, pid)?,
-            };
+            let (incoming, frames_read, bytes_reread): (Vec<(VertexId, P::Msg)>, u64, u64) =
+                match inc {
+                    Some(msgs) => (msgs, 0, 0),
+                    None => replay_segments(session, prog, pg, pid)?,
+                };
 
             let mut offsets = vec![0usize; slots + 1];
             for (to, _) in &incoming {
@@ -603,7 +635,7 @@ pub(crate) fn run_iteration_spilled<P: Propagation>(
                 new_states.push(prog.combine(v, &state_ro[v.index()], msgs, g));
             }
             let ns = t0.elapsed_ns();
-            Ok((new_states, combine_msgs, ns))
+            Ok((new_states, combine_msgs, ns, frames_read, bytes_reread))
         })
         .map_err(|e| SurferError::from_worker_panic("combine", e))?;
 
@@ -613,7 +645,16 @@ pub(crate) fn run_iteration_spilled<P: Propagation>(
     for r in combined {
         results.push(r?);
     }
-    for (pid, (new_states, combine_msgs, combine_ns)) in results.into_iter().enumerate() {
+    let (reread_frames, reread_bytes) = results
+        .iter()
+        .fold((0u64, 0u64), |(f, b), r| (f + r.3, b + r.4));
+    if reread_frames > 0 {
+        surfer_obs::journal::record(surfer_obs::journal::EventKind::SpillRead {
+            frames: reread_frames,
+            bytes: reread_bytes,
+        });
+    }
+    for (pid, (new_states, combine_msgs, combine_ns, _, _)) in results.into_iter().enumerate() {
         tally[pid].combine_msgs = combine_msgs;
         tally[pid].combine_ns = combine_ns;
         for (&v, s) in pg.meta(pid as u32).members.iter().zip(new_states) {
@@ -631,6 +672,7 @@ pub(crate) fn run_iteration_spilled<P: Propagation>(
         disk_fraction,
         faults,
     )?;
+    surfer_obs::journal::record(surfer_obs::journal::EventKind::IterationEnd { messages });
     Ok((report, messages))
 }
 
@@ -707,6 +749,10 @@ impl<'s> MsgSink<'s> {
     }
 }
 
+/// A replayed mailbox plus the spill-read traffic it cost:
+/// `(decoded (destination, message) records, frames read, bytes reread)`.
+type ReplayedMailbox<M> = (Vec<(VertexId, M)>, u64, u64);
+
 /// Read partition `pid`'s incoming mailbox segments in ascending source-pid
 /// order, decoding every `(destination, message)` record.
 fn replay_segments<P: Propagation>(
@@ -714,7 +760,7 @@ fn replay_segments<P: Propagation>(
     prog: &P,
     pg: &PartitionedGraph,
     pid: u32,
-) -> SurferResult<Vec<(VertexId, P::Msg)>> {
+) -> SurferResult<ReplayedMailbox<P::Msg>> {
     let mut incoming = Vec::new();
     let mut frames_read = 0u64;
     let mut bytes_reread = 0u64;
@@ -753,7 +799,7 @@ fn replay_segments<P: Propagation>(
         surfer_obs::counter_add(surfer_obs::names::SPILL_MAILBOX_FRAMES_READ, frames_read);
         surfer_obs::counter_add(surfer_obs::names::SPILL_BYTES_REREAD, bytes_reread);
     }
-    Ok(incoming)
+    Ok((incoming, frames_read, bytes_reread))
 }
 
 /// Apply one chaos fault to a spill file on disk.

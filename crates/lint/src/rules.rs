@@ -45,7 +45,7 @@ pub const RULES: &[Rule] = &[
         id: "D1",
         severity: Severity::Deny,
         summary: "no HashMap/HashSet in determinism-critical crates \
-                  (core/mapreduce/partition/serve); use BTreeMap/BTreeSet or sorted iteration",
+                  (core/mapreduce/partition/serve/obs); use BTreeMap/BTreeSet or sorted iteration",
     },
     Rule {
         id: "D2",
@@ -95,9 +95,18 @@ pub struct Finding {
 // ---------------------------------------------------------------------------
 
 fn d1_in_scope(path: &str) -> bool {
-    ["crates/core/src/", "crates/mapreduce/src/", "crates/partition/src/", "crates/serve/src/"]
-        .iter()
-        .any(|p| path.starts_with(p))
+    [
+        "crates/core/src/",
+        "crates/mapreduce/src/",
+        "crates/partition/src/",
+        "crates/serve/src/",
+        // The flight journal and post-mortem bundles promise bit-identical
+        // canonical output, so their iteration order is determinism-critical
+        // too.
+        "crates/obs/src/",
+    ]
+    .iter()
+    .any(|p| path.starts_with(p))
 }
 
 fn d2_in_scope(path: &str) -> bool {
@@ -512,6 +521,7 @@ mod tests {
         let src = "use std::collections::HashMap;\n";
         assert_eq!(run("crates/core/src/engine.rs", src).len(), 1);
         assert_eq!(run("crates/serve/src/lib.rs", src).len(), 1);
+        assert_eq!(run("crates/obs/src/journal.rs", src).len(), 1);
         assert_eq!(run("crates/bench/src/lib.rs", src).len(), 0);
     }
 

@@ -42,9 +42,12 @@ use std::sync::{Mutex, MutexGuard, OnceLock, PoisonError};
 use std::time::Instant;
 
 mod export;
+pub mod journal;
+pub mod postmortem;
 mod recorder;
 
 pub use export::{chrome_trace_json, prometheus_text};
+pub use journal::TraceCtx;
 pub use recorder::{
     detect_stragglers, IterationSample, StageKind, StragglerReport, TrafficMatrix,
 };
@@ -268,8 +271,27 @@ fn lock_state() -> MutexGuard<'static, State> {
 }
 
 thread_local! {
-    /// Open-span stack of the current thread (implicit parents).
-    static PARENTS: std::cell::RefCell<Vec<u64>> = const { std::cell::RefCell::new(Vec::new()) };
+    /// Open-span stack of the current thread: `(id, name)` pairs, so
+    /// implicit parenting reads the id and post-mortem bundles read the
+    /// names ([`span_stack`]).
+    static PARENTS: std::cell::RefCell<Vec<(u64, &'static str)>> =
+        const { std::cell::RefCell::new(Vec::new()) };
+}
+
+/// Names of this thread's open spans, outermost first — the "active span
+/// stack" a post-mortem bundle captures at failure time.
+pub(crate) fn span_stack() -> Vec<&'static str> {
+    PARENTS.with(|p| p.borrow().iter().map(|&(_, name)| name).collect())
+}
+
+/// Counter snapshot of the live session (empty map when no session is
+/// recording), cloned for post-mortem bundles.
+pub(crate) fn session_counters_snapshot() -> BTreeMap<String, u64> {
+    let st = lock_state();
+    if st.epoch.is_none() {
+        return BTreeMap::new();
+    }
+    st.counters.iter().map(|(k, v)| ((*k).to_string(), *v)).collect()
 }
 
 /// Serializes sessions: only one [`ObsSession`] records at a time.
@@ -281,11 +303,40 @@ pub struct ObsSession {
     _gate: Option<MutexGuard<'static, ()>>,
 }
 
+/// Typed error returned by [`ObsSession::try_begin`] when another session
+/// is already recording: callers get a decision point instead of a silent
+/// block on the session gate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SessionBusy;
+
+impl std::fmt::Display for SessionBusy {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "an ObsSession is already recording; finish it before beginning another")
+    }
+}
+
+impl std::error::Error for SessionBusy {}
+
 impl ObsSession {
     /// Start recording. Blocks until any other session finishes; resets the
     /// registry.
     pub fn begin() -> ObsSession {
         let gate = SESSION_GATE.lock().unwrap_or_else(PoisonError::into_inner);
+        Self::start(gate)
+    }
+
+    /// Start recording if no other session is active; otherwise return the
+    /// typed [`SessionBusy`] error instead of blocking.
+    pub fn try_begin() -> Result<ObsSession, SessionBusy> {
+        let gate = match SESSION_GATE.try_lock() {
+            Ok(g) => g,
+            Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+            Err(std::sync::TryLockError::WouldBlock) => return Err(SessionBusy),
+        };
+        Ok(Self::start(gate))
+    }
+
+    fn start(gate: MutexGuard<'static, ()>) -> ObsSession {
         {
             let mut st = lock_state();
             *st = State::default();
@@ -352,7 +403,7 @@ impl Drop for SpanGuard {
         let end = Instant::now();
         PARENTS.with(|p| {
             let mut p = p.borrow_mut();
-            if p.last() == Some(&live.id) {
+            if p.last().map(|&(id, _)| id) == Some(live.id) {
                 p.pop();
             }
         });
@@ -373,11 +424,11 @@ impl Drop for SpanGuard {
 fn open_span(name: &'static str, label: String, parent: Option<u64>, implicit: bool) -> SpanGuard {
     let id = shared().next_span.fetch_add(1, Ordering::Relaxed);
     let parent = if implicit {
-        PARENTS.with(|p| p.borrow().last().copied())
+        PARENTS.with(|p| p.borrow().last().map(|&(id, _)| id))
     } else {
         parent
     };
-    PARENTS.with(|p| p.borrow_mut().push(id));
+    PARENTS.with(|p| p.borrow_mut().push((id, name)));
     SpanGuard { live: Some(LiveSpan { id, parent, name, label, start: Instant::now() }) }
 }
 
@@ -937,8 +988,47 @@ mod tests {
         );
         assert!(j.contains("\"serve.tenant.latency_us.7\""));
         let prom = crate::export::prometheus_text(&report);
-        assert!(prom.contains("surfer_serve_tenant_latency_us_3_count 2\n"), "{prom}");
-        assert!(prom.contains("surfer_serve_tenant_latency_us_7_max 9\n"));
+        assert!(prom.contains("# TYPE surfer_serve_tenant_latency_us summary\n"), "{prom}");
+        assert!(prom.contains("surfer_serve_tenant_latency_us_count{label=\"3\"} 2\n"), "{prom}");
+        assert!(prom.contains("surfer_serve_tenant_latency_us_max{label=\"7\"} 9\n"));
+    }
+
+    #[test]
+    fn try_begin_while_active_is_a_typed_error_across_threads() {
+        let _g = serial();
+        let session = ObsSession::begin();
+        // Same thread: the gate is held, so try_begin must refuse.
+        let here = ObsSession::try_begin();
+        assert_eq!(here.err(), Some(SessionBusy));
+        // Another thread contending must get the same typed error, not a
+        // silent wait or a panic.
+        let from_thread = std::thread::spawn(|| match ObsSession::try_begin() {
+            Err(SessionBusy) => format!("{SessionBusy}"),
+            Ok(_) => "unexpectedly began".to_string(),
+        })
+        .join()
+        .expect("prober thread");
+        assert!(from_thread.contains("already recording"), "{from_thread}");
+        counter_add("survivor", 1);
+        let r = session.finish();
+        assert_eq!(r.counter("survivor"), 1, "the original session must be unharmed");
+        // With the gate released, try_begin succeeds.
+        let s2 = ObsSession::try_begin().expect("gate is free");
+        let _ = s2.finish();
+    }
+
+    #[test]
+    fn span_stack_names_active_spans_outermost_first() {
+        let _g = serial();
+        let session = ObsSession::begin();
+        assert!(span_stack().is_empty());
+        {
+            let _outer = span!("ckpt.write");
+            let _inner = span!("ckpt.write.replica");
+            assert_eq!(span_stack(), vec!["ckpt.write", "ckpt.write.replica"]);
+        }
+        assert!(span_stack().is_empty(), "guards must pop their stack frames");
+        let _ = session.finish();
     }
 
     #[test]

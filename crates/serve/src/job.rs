@@ -141,6 +141,10 @@ where
                 output: encode_states(&self.state),
             });
         }
+        // Stamp the slice's iteration onto the ambient trace frame (the
+        // manager pushed it) so a failing slice's forensics name the
+        // iteration, not just the job.
+        surfer_obs::journal::set_iteration(self.completed);
         let report = self.engine.run_iteration(self.prog, &mut self.state)?;
         self.completed += 1;
         if self.completed == self.iterations {

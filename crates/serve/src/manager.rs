@@ -19,6 +19,7 @@ use std::collections::BTreeMap;
 use std::sync::Arc;
 use surfer_cluster::{SimDuration, SimTime};
 use surfer_core::{SurferError, SurferResult};
+use surfer_obs::journal::{self, EventKind, TraceCtx};
 use surfer_obs::names;
 
 /// Deployment-wide serving policy.
@@ -152,6 +153,10 @@ impl<'a> JobManager<'a> {
             self.active.iter().filter(|j| j.spec.tenant == tenant).count() as u32;
         if tenant_in_flight >= self.cfg.tenant_quota {
             surfer_obs::counter_add(names::SERVE_REJECTED_QUOTA, 1);
+            journal::record_with(
+                TraceCtx::for_job(self.next_id, tenant.0),
+                EventKind::AdmissionReject { reason: "quota" },
+            );
             return Err(SurferError::QuotaExceeded {
                 tenant: tenant.0,
                 in_flight: tenant_in_flight,
@@ -161,6 +166,10 @@ impl<'a> JobManager<'a> {
         let in_flight = self.active.len() as u32;
         if in_flight >= self.cfg.capacity {
             surfer_obs::counter_add(names::SERVE_REJECTED_OVERLOADED, 1);
+            journal::record_with(
+                TraceCtx::for_job(self.next_id, tenant.0),
+                EventKind::AdmissionReject { reason: "overloaded" },
+            );
             return Err(SurferError::Overloaded {
                 in_flight,
                 capacity: self.cfg.capacity,
@@ -170,10 +179,12 @@ impl<'a> JobManager<'a> {
         let id = JobId(self.next_id);
         self.next_id += 1;
         surfer_obs::counter_add(names::SERVE_ADMITTED, 1);
+        journal::record_with(TraceCtx::for_job(id.0, tenant.0), EventKind::AdmissionAdmit);
 
         if let Some(key) = &spec.cache_key {
             if let Some(output) = self.cache.get(key) {
                 surfer_obs::counter_add(names::SERVE_COMPLETED, 1);
+                journal::record_with(TraceCtx::for_job(id.0, tenant.0), EventKind::JobCompleted);
                 surfer_obs::observe(names::SERVE_LATENCY_US, 0);
                 surfer_obs::observe_labeled(names::SERVE_TENANT_LATENCY_US, tenant.0 as u64, 0);
                 self.outcomes.push(JobOutcome {
@@ -272,6 +283,13 @@ impl<'a> JobManager<'a> {
             }
         }
 
+        // Thread the job's trace context through the slice so every journal
+        // event the engine records below attributes to this job/tenant —
+        // and a mid-slice post-mortem bundle names the right owner.
+        let _ctx = journal::ctx_enter(
+            TraceCtx::for_job(self.active[idx].id.0, tenant.0)
+                .with_attempt(self.active[idx].retries),
+        );
         match self.active[idx].task.step() {
             Ok(StepOutcome::Running { cost }) => {
                 self.now += cost;
@@ -340,17 +358,34 @@ impl<'a> JobManager<'a> {
             u64::from(job.spec.tenant.0),
             latency.0,
         );
+        let mut ctx = TraceCtx::for_job(job.id.0, job.spec.tenant.0).with_attempt(job.retries);
         match &result {
             Ok(output) => {
                 surfer_obs::counter_add(names::SERVE_COMPLETED, 1);
+                journal::record_with(ctx, EventKind::JobCompleted);
                 self.service.0 += 1;
                 self.service.1 += latency.0;
                 if let Some(key) = job.spec.cache_key.clone() {
                     self.cache.insert(key, Arc::clone(output));
                 }
             }
-            Err(_) => {
+            Err(e) => {
                 surfer_obs::counter_add(names::SERVE_FAILED, 1);
+                if let Some(it) = e.iteration() {
+                    ctx = ctx.with_iteration(it);
+                }
+                journal::record_with(ctx, EventKind::JobFailed { variant: e.variant_name() });
+                // The engine may have flushed a richer bundle (crash
+                // iteration, span stack) on its way out; only write a
+                // manager-level bundle when no lower layer already
+                // attributed this job's failure.
+                if !surfer_obs::postmortem::last_is_for_job(job.id.0) {
+                    surfer_obs::postmortem::record_failure(
+                        e.variant_name(),
+                        &e.to_string(),
+                        ctx,
+                    );
+                }
             }
         }
         self.outcomes.push(JobOutcome {

@@ -160,6 +160,14 @@ fn exhausting_all_replicas_is_a_typed_error() {
         }
         other => panic!("expected ReplicasExhausted, got {other:?}"),
     }
+    // Every typed failure flushes a schema-valid post-mortem bundle that
+    // pins the faulted checkpoint.
+    let bundle = surfer::obs::postmortem::take_last()
+        .expect("a typed failure must flush a post-mortem bundle");
+    assert_eq!(bundle.fault_variant, "ReplicasExhausted");
+    assert_eq!(bundle.fault_ctx.iteration, 2);
+    let problems = surfer::obs::postmortem::validate(&bundle.to_json());
+    assert!(problems.is_empty(), "schema problems: {problems:?}");
     let _ = std::fs::remove_dir_all(&cfg.dir);
 }
 
@@ -289,6 +297,12 @@ fn write_retry_exhaustion_is_a_typed_error() {
         }
         other => panic!("expected RetriesExhausted, got {other:?}"),
     }
+    let bundle = surfer::obs::postmortem::take_last()
+        .expect("a typed failure must flush a post-mortem bundle");
+    assert_eq!(bundle.fault_variant, "RetriesExhausted");
+    assert_eq!(bundle.fault_ctx.iteration, 2, "the bundle pins the exhausted checkpoint write");
+    let problems = surfer::obs::postmortem::validate(&bundle.to_json());
+    assert!(problems.is_empty(), "schema problems: {problems:?}");
     let _ = std::fs::remove_dir_all(&cfg.dir);
 }
 

@@ -183,6 +183,18 @@ fn assert_isolated(
             Err(e) => assert!(expect(e), "threads={threads}: unexpected error {e:?}"),
             Ok(_) => panic!("threads={threads}: the faulted job must fail typed"),
         }
+        // Forensics ride along with isolation: the typed failure flushed a
+        // schema-valid post-mortem bundle attributed to the faulted tenant.
+        let bundle = surfer::obs::postmortem::take_last()
+            .expect("a typed serve failure must flush a post-mortem bundle");
+        assert_eq!(
+            bundle.fault_ctx.job,
+            faulted.0,
+            "threads={threads}: bundle names the wrong job"
+        );
+        assert_eq!(bundle.fault_ctx.tenant, 1, "threads={threads}: bundle names the wrong tenant");
+        let problems = surfer::obs::postmortem::validate(&bundle.to_json());
+        assert!(problems.is_empty(), "threads={threads}: schema problems {problems:?}");
         let _ = std::fs::remove_dir_all(&rc.dir);
     }
 }
